@@ -1,0 +1,117 @@
+// Command repro regenerates every figure and table of the paper's
+// evaluation. It loads datasets written by cmd/ronsim, collecting them on
+// the fly when absent.
+//
+// Usage:
+//
+//	repro [-d1 data/d1-seed1.json.gz] [-d2 data/d2-seed1.json.gz]
+//	      [-seed 1] [-only fig2,fig19] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/testbed"
+	"repro/internal/traceio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("repro: ")
+
+	seed := flag.Int64("seed", 1, "campaign seed for on-the-fly collection")
+	d1Path := flag.String("d1", "", "primary dataset path (default data/d1-seed<seed>.json.gz)")
+	d2Path := flag.String("d2", "", "second dataset path (default data/d2-seed<seed>.json.gz)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. fig2,fig19)")
+	full := flag.Bool("full", false, "collect at the paper's full scale when datasets are absent")
+	csvDir := flag.String("csv", "", "also export each experiment's tables/series as CSV into this directory")
+	flag.Parse()
+
+	if *d1Path == "" {
+		*d1Path = fmt.Sprintf("data/d1-seed%d.json.gz", *seed)
+	}
+	if *d2Path == "" {
+		*d2Path = fmt.Sprintf("data/d2-seed%d.json.gz", *seed)
+	}
+
+	cfg1 := testbed.DefaultScaled(*seed)
+	cfg2 := testbed.SecondSet(*seed, true)
+	if *full {
+		cfg1 = testbed.PaperScale(*seed)
+		cfg2 = testbed.SecondSet(*seed, false)
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	start := time.Now()
+	ds1, err := traceio.LoadOrCollect(*d1Path, cfg1)
+	if err != nil {
+		log.Fatalf("dataset 1: %v", err)
+	}
+	log.Printf("dataset 1: %d traces / %d epochs (%v)", len(ds1.Traces), ds1.Epochs(), time.Since(start).Round(time.Second))
+
+	// The base transfer interval (for Fig 23's axis labels) follows from
+	// the epoch structure; the paper's is ~3 min.
+	baseIntervalMin := epochMinutes(cfg1)
+
+	emit := func(res experiments.Result) {
+		if !selected(res.ID) {
+			return
+		}
+		res.Format(os.Stdout)
+		if *csvDir != "" {
+			if err := experiments.WriteCSV(*csvDir, res); err != nil {
+				log.Fatalf("csv: %v", err)
+			}
+		}
+	}
+	for _, res := range experiments.All(ds1, baseIntervalMin) {
+		emit(res)
+	}
+	for _, res := range experiments.Extensions(ds1) {
+		emit(res)
+	}
+
+	if selected("fig11") {
+		start = time.Now()
+		ds2, err := traceio.LoadOrCollect(*d2Path, cfg2)
+		if err != nil {
+			log.Fatalf("dataset 2: %v", err)
+		}
+		log.Printf("dataset 2: %d traces / %d epochs (%v)", len(ds2.Traces), ds2.Epochs(), time.Since(start).Round(time.Second))
+		emit(experiments.Fig11(ds2, cfg2.Checkpoints, cfg2.TransferSec))
+	}
+}
+
+func epochMinutes(cfg testbed.RunConfig) float64 {
+	ping := cfg.PingDuration
+	if ping == 0 {
+		ping = 60
+	}
+	transfer := cfg.TransferSec
+	if transfer == 0 {
+		transfer = 50
+	}
+	gap := cfg.EpochGap
+	if gap == 0 {
+		gap = 20
+	}
+	small := cfg.SmallTransferSec
+	if cfg.SmallWindowBytes > 0 && small == 0 {
+		small = transfer / 2
+	}
+	// ~15 s for pathload on average.
+	return (15 + ping + transfer + small + gap) / 60
+}

@@ -1,0 +1,60 @@
+// Command ronsim collects a measurement dataset on the simulated RON-style
+// testbed and writes it to disk for later analysis by cmd/repro.
+//
+// Usage:
+//
+//	ronsim [-out data/d1.json.gz] [-seed 1] [-full] [-second]
+//
+// By default a scaled-down campaign runs (12 paths × 2 traces × 40 epochs);
+// -full restores the paper's 35 × 7 × 150 scale (slow). -second collects
+// the Mar-2006-style second dataset with 120 s checkpointed transfers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/testbed"
+	"repro/internal/traceio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ronsim: ")
+
+	out := flag.String("out", "", "output file (.json or .json.gz); default depends on -second")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	full := flag.Bool("full", false, "run at the paper's full scale (35x7x150; slow)")
+	second := flag.Bool("second", false, "collect the second (120s-transfer) dataset for Fig 11")
+	workers := flag.Int("workers", 0, "parallel trace workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	var cfg testbed.RunConfig
+	name := "d1"
+	switch {
+	case *second:
+		cfg = testbed.SecondSet(*seed, !*full)
+		name = "d2"
+	case *full:
+		cfg = testbed.PaperScale(*seed)
+	default:
+		cfg = testbed.DefaultScaled(*seed)
+	}
+	cfg.Parallelism = *workers
+	if *out == "" {
+		*out = fmt.Sprintf("data/%s-seed%d.json.gz", name, *seed)
+	}
+
+	start := time.Now()
+	ds := testbed.Collect(cfg)
+	log.Printf("collected %d traces / %d epochs in %v", len(ds.Traces), ds.Epochs(), time.Since(start).Round(time.Second))
+
+	if err := traceio.Save(*out, ds); err != nil {
+		log.Printf("save: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -1,0 +1,69 @@
+// Command tcppredict demonstrates a single prediction cycle on a simulated
+// path: measure (avail-bw + ping), predict with the FB formula, run the
+// actual transfer, and compare — then repeat a few times and show how an
+// HB predictor homes in.
+//
+// Usage:
+//
+//	tcppredict [-cap 10] [-rtt 60] [-load 0.4] [-window 1048576]
+//	           [-rounds 8] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	tcppred "repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	capMbps := flag.Float64("cap", 10, "bottleneck capacity, Mbps")
+	rttMs := flag.Float64("rtt", 60, "round-trip propagation delay, ms")
+	load := flag.Float64("load", 0.4, "cross-traffic load (fraction of bottleneck)")
+	window := flag.Int("window", 1<<20, "maximum TCP window (socket buffer), bytes")
+	rounds := flag.Int("rounds", 8, "measure/predict/transfer rounds")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	capBps := *capMbps * 1e6
+	rtt := *rttMs / 1e3
+	buf := int(capBps * rtt / 8)
+	if buf < 16*1500 {
+		buf = 16 * 1500
+	}
+	spec := tcppred.PathSpec{
+		Name: "demo",
+		Forward: []tcppred.Hop{
+			{CapacityBps: capBps * 5, PropDelay: rtt / 8, BufferBytes: 4 << 20},
+			{CapacityBps: capBps, PropDelay: rtt / 4, BufferBytes: buf},
+			{CapacityBps: capBps * 5, PropDelay: rtt / 8, BufferBytes: 4 << 20},
+		},
+	}
+	path := tcppred.NewTestbedPath(spec, *load, *seed)
+	fmt.Println(path)
+
+	fb := tcppred.NewFBPredictor(tcppred.FBConfig{Model: tcppred.PFTK, MaxWindowBytes: *window})
+	hb := tcppred.WithLSO(tcppred.NewHoltWinters(0.8, 0.2))
+
+	fmt.Printf("%-6s %12s %12s %12s %10s %10s\n", "round", "FB pred", "HB pred", "actual", "FB err", "HB err")
+	for i := 0; i < *rounds; i++ {
+		m := path.Measure(20)
+		fbPred := fb.Predict(m.FBInputs())
+		hbPred, hbOK := hb.Predict()
+		actual := path.Transfer(15, *window)
+		hb.Observe(actual)
+
+		hbCol, hbErrCol := "-", "-"
+		if hbOK {
+			hbCol = mbps(hbPred)
+			hbErrCol = fmt.Sprintf("%+.2f", stats.RelativeError(hbPred, actual))
+		}
+		fmt.Printf("%-6d %12s %12s %12s %+10.2f %10s\n",
+			i, mbps(fbPred), hbCol, mbps(actual),
+			stats.RelativeError(fbPred, actual), hbErrCol)
+		path.Wait(10)
+	}
+}
+
+func mbps(bps float64) string { return fmt.Sprintf("%.2f Mbps", bps/1e6) }

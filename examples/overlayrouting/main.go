@@ -1,0 +1,115 @@
+// Overlay routing: the motivating application of the paper's FB analysis.
+// A RON-style overlay must pick the path with the best TCP throughput for
+// a bulk transfer. This example builds three candidate paths with different
+// capacity/RTT/load trade-offs, ranks them with (a) the FB predictor,
+// (b) an HB predictor fed by past transfers, and (c) the actual transfer
+// outcomes, and reports how often each method picks the true best path.
+//
+//	go run ./examples/overlayrouting
+package main
+
+import (
+	"fmt"
+
+	tcppred "repro"
+)
+
+type candidate struct {
+	name string
+	path *tcppred.Path
+	hb   tcppred.HBPredictor
+}
+
+func mkPath(name string, capMbps, rttMs, load float64, seed int64) candidate {
+	capBps := capMbps * 1e6
+	rtt := rttMs / 1e3
+	buf := int(capBps * rtt / 8)
+	if buf < 32*1500 {
+		buf = 32 * 1500
+	}
+	spec := tcppred.PathSpec{
+		Name: name,
+		Forward: []tcppred.Hop{
+			{CapacityBps: capBps * 5, PropDelay: rtt / 8, BufferBytes: 4 << 20},
+			{CapacityBps: capBps, PropDelay: rtt / 4, BufferBytes: buf},
+			{CapacityBps: capBps * 5, PropDelay: rtt / 8, BufferBytes: 4 << 20},
+		},
+	}
+	return candidate{
+		name: name,
+		path: tcppred.NewTestbedPath(spec, load, seed),
+		hb:   tcppred.WithLSO(tcppred.NewHoltWinters(0.8, 0.2)),
+	}
+}
+
+func main() {
+	// Direct path: fast but congested. Overlay A: slower link, lightly
+	// loaded. Overlay B: long RTT transatlantic detour, idle.
+	cands := []candidate{
+		mkPath("direct (20 Mbps, 40 ms, 75% load)", 20, 40, 0.75, 11),
+		mkPath("overlay-A (8 Mbps, 55 ms, 20% load)", 8, 55, 0.20, 22),
+		mkPath("overlay-B (15 Mbps, 130 ms, 5% load)", 15, 130, 0.05, 33),
+	}
+	fb := tcppred.NewFBPredictor(tcppred.FBConfig{Model: tcppred.PFTK})
+
+	const rounds = 8
+	fbWins, hbWins := 0, 0
+	hbReady := false
+	for round := 0; round < rounds; round++ {
+		type outcome struct {
+			fbPred, hbPred, actual float64
+			hbOK                   bool
+		}
+		results := make([]outcome, len(cands))
+		for i, c := range cands {
+			m := c.path.Measure(20)
+			results[i].fbPred = fb.Predict(m.FBInputs())
+			results[i].hbPred, results[i].hbOK = c.hb.Predict()
+			results[i].actual = c.path.Transfer(20, 1<<20)
+			c.hb.Observe(results[i].actual)
+			c.path.Wait(15)
+		}
+		best := argmax(results, func(o outcome) float64 { return o.actual })
+		fbPick := argmax(results, func(o outcome) float64 { return o.fbPred })
+		hbPick := argmax(results, func(o outcome) float64 { return o.hbPred })
+		if fbPick == best {
+			fbWins++
+		}
+		allHB := true
+		for _, r := range results {
+			allHB = allHB && r.hbOK
+		}
+		if allHB {
+			hbReady = true
+			if hbPick == best {
+				hbWins++
+			}
+		}
+		fmt.Printf("round %d: best=%-40s FB picked %-40s HB picked %s\n",
+			round, cands[best].name, cands[fbPick].name, hbName(cands, hbPick, allHB))
+	}
+	fmt.Printf("\nFB picked the best path %d/%d rounds\n", fbWins, rounds)
+	if hbReady {
+		fmt.Printf("HB picked the best path %d/%d rounds (after warm-up)\n", hbWins, rounds-1)
+	}
+	fmt.Println("\nThe paper's conclusion in action: with a transfer history, HB route")
+	fmt.Println("selection is the more reliable ranking signal; FB works without any")
+	fmt.Println("history but mispredicts on congested paths.")
+}
+
+func hbName(cands []candidate, pick int, ok bool) string {
+	if !ok {
+		return "(warming up)"
+	}
+	return cands[pick].name
+}
+
+func argmax[T any](xs []T, f func(T) float64) int {
+	best, bestV := 0, f(xs[0])
+	for i := 1; i < len(xs); i++ {
+		if v := f(xs[i]); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,56 @@
+// Quickstart: measure a simulated path, predict the throughput of a bulk
+// TCP transfer with both predictor families, run the transfer, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	tcppred "repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	// A 10 Mbps bottleneck path with 60 ms RTT carrying 40% cross traffic.
+	spec := tcppred.PathSpec{
+		Name: "quickstart",
+		Forward: []tcppred.Hop{
+			{CapacityBps: 50e6, PropDelay: 0.0075, BufferBytes: 4 << 20},
+			{CapacityBps: 10e6, PropDelay: 0.015, BufferBytes: 96 * 1500},
+			{CapacityBps: 50e6, PropDelay: 0.0075, BufferBytes: 4 << 20},
+		},
+	}
+	path := tcppred.NewTestbedPath(spec, 0.4, 1)
+	fmt.Println(path)
+
+	// 1. Measure the path the way the paper does before each transfer:
+	//    pathload-style avail-bw estimate plus periodic ping.
+	m := path.Measure(30)
+	fmt.Printf("measured: T̂ = %.1f ms, p̂ = %.4f, Â = %.2f Mbps\n",
+		m.RTT*1e3, m.LossRate, m.AvailBw/1e6)
+
+	// 2. Formula-based prediction (paper Eq. 3).
+	fb := tcppred.NewFBPredictor(tcppred.FBConfig{Model: tcppred.PFTK})
+	fbPred := fb.Predict(m.FBInputs())
+	fmt.Printf("FB prediction: %.2f Mbps\n", fbPred/1e6)
+
+	// 3. History-based prediction with the paper's best performer,
+	//    Holt-Winters wrapped with the LSO heuristics, warmed up on a few
+	//    previous transfers.
+	hb := tcppred.WithLSO(tcppred.NewHoltWinters(0.8, 0.2))
+	fmt.Println("warming HB predictor with 5 previous transfers...")
+	for i := 0; i < 5; i++ {
+		r := path.Transfer(20, 1<<20)
+		hb.Observe(r)
+		path.Wait(10)
+	}
+	hbPred, _ := hb.Predict()
+	fmt.Printf("HB prediction: %.2f Mbps\n", hbPred/1e6)
+
+	// 4. The actual transfer.
+	actual := path.Transfer(30, 1<<20)
+	fmt.Printf("actual throughput: %.2f Mbps\n", actual/1e6)
+	fmt.Printf("relative errors (paper Eq. 4): FB %+.2f, HB %+.2f\n",
+		stats.RelativeError(fbPred, actual), stats.RelativeError(hbPred, actual))
+}

@@ -1,0 +1,122 @@
+// Package iperf drives bulk TCP transfers over simulated paths, in the role
+// the IPerf tool plays in the paper: start a transfer with a configurable
+// maximum window (socket buffer), run it for a fixed duration, and report
+// the achieved throughput plus the path characteristics the flow itself
+// experienced (T, p, p′).
+package iperf
+
+import (
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+// Report summarizes a finished transfer.
+type Report struct {
+	Duration      float64 // seconds the transfer ran
+	BytesAcked    int64
+	ThroughputBps float64 // payload goodput, bits per second
+
+	FlowRTT       float64 // mean RTT the flow experienced (T)
+	FlowLossRate  float64 // packet loss rate the flow experienced (p)
+	FlowEventRate float64 // congestion-event rate (p′)
+	Retransmits   int64
+	Timeouts      int64
+	LossEvents    int64
+	SegmentsSent  int64
+	// Checkpoints holds goodput over the first d seconds for each requested
+	// checkpoint duration, aligned with Config.Checkpoints.
+	Checkpoints []float64
+}
+
+// Config controls a transfer.
+type Config struct {
+	Duration    float64       // transfer duration, seconds (paper: 50 s / 120 s)
+	TCP         tcpsim.Config // window size etc.
+	Checkpoints []float64     // optional prefix durations to report (e.g. 30, 60)
+}
+
+// Run performs a timed bulk transfer of flow over path, advancing the
+// engine. It returns when the transfer duration has elapsed (plus a small
+// drain so in-flight ACKs settle into the stats).
+func Run(eng *sim.Engine, path *netem.Path, flow netem.FlowID, cfg Config) Report {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 50
+	}
+	conn := tcpsim.Dial(eng, path, flow, cfg.TCP)
+	start := eng.Now()
+	conn.Sender.Start()
+
+	rep := Report{Checkpoints: make([]float64, len(cfg.Checkpoints))}
+	marks := append([]float64(nil), cfg.Checkpoints...)
+	for i, d := range marks {
+		i, d := i, d
+		if d <= 0 || d > cfg.Duration {
+			continue
+		}
+		eng.At(start+d, func() {
+			rep.Checkpoints[i] = float64(conn.Sender.BytesAcked()) * 8 / d
+		})
+	}
+
+	eng.RunUntil(start + cfg.Duration)
+	conn.Sender.Stop()
+	conn.Receiver.Stop()
+
+	st := conn.Sender.Stats()
+	elapsed := eng.Now() - start
+	rep.Duration = elapsed
+	rep.BytesAcked = st.BytesAcked
+	if elapsed > 0 {
+		rep.ThroughputBps = float64(st.BytesAcked) * 8 / elapsed
+	}
+	rep.FlowRTT = st.MeanRTT()
+	rep.FlowLossRate = st.LossRate()
+	rep.FlowEventRate = st.CongestionEventRate()
+	rep.Retransmits = st.Retransmits
+	rep.Timeouts = st.Timeouts
+	rep.LossEvents = st.LossEvents
+	rep.SegmentsSent = st.SegmentsSent
+	return rep
+}
+
+// RunBytes performs a size-limited transfer (e.g. 1 MB) and returns when
+// the last byte is acknowledged or maxWait elapses.
+func RunBytes(eng *sim.Engine, path *netem.Path, flow netem.FlowID, bytes int64, maxWait float64, tcpCfg tcpsim.Config) Report {
+	conn := tcpsim.Dial(eng, path, flow, tcpCfg)
+	start := eng.Now()
+	finished := false
+	conn.Sender.SetLimit(bytes, func() { finished = true })
+	conn.Sender.Start()
+	deadline := start + maxWait
+	for !finished && eng.Now() < deadline {
+		eng.RunUntil(minf(deadline, eng.Now()+0.1))
+	}
+	conn.Sender.Stop()
+	conn.Receiver.Stop()
+
+	st := conn.Sender.Stats()
+	elapsed := eng.Now() - start
+	rep := Report{
+		Duration:      elapsed,
+		BytesAcked:    st.BytesAcked,
+		FlowRTT:       st.MeanRTT(),
+		FlowLossRate:  st.LossRate(),
+		FlowEventRate: st.CongestionEventRate(),
+		Retransmits:   st.Retransmits,
+		Timeouts:      st.Timeouts,
+		LossEvents:    st.LossEvents,
+		SegmentsSent:  st.SegmentsSent,
+	}
+	if elapsed > 0 {
+		rep.ThroughputBps = float64(st.BytesAcked) * 8 / elapsed
+	}
+	return rep
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

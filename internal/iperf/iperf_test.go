@@ -1,0 +1,123 @@
+package iperf_test
+
+import (
+	"testing"
+
+	"repro/internal/iperf"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+func buildPath(eng *sim.Engine) *netem.Path {
+	rng := sim.NewRNG(1)
+	return netem.NewPath(eng, rng, netem.PathSpec{
+		Name: "iperf",
+		Forward: []netem.Hop{
+			{CapacityBps: 8e6, PropDelay: 0.03, BufferBytes: 64 * 1500},
+		},
+	})
+}
+
+func TestRunReportsThroughput(t *testing.T) {
+	eng := sim.NewEngine()
+	path := buildPath(eng)
+	rep := iperf.Run(eng, path, 1, iperf.Config{Duration: 20})
+	if rep.ThroughputBps < 5e6 || rep.ThroughputBps > 8e6 {
+		t.Errorf("throughput %.2f Mbps on idle 8 Mbps path", rep.ThroughputBps/1e6)
+	}
+	if rep.Duration < 19.9 || rep.Duration > 20.1 {
+		t.Errorf("duration %.2f, want 20", rep.Duration)
+	}
+	if rep.BytesAcked == 0 || rep.SegmentsSent == 0 {
+		t.Error("empty counters")
+	}
+	if rep.FlowRTT <= 0 {
+		t.Error("no flow RTT")
+	}
+}
+
+func TestRunDefaultDuration(t *testing.T) {
+	eng := sim.NewEngine()
+	path := buildPath(eng)
+	rep := iperf.Run(eng, path, 1, iperf.Config{})
+	if rep.Duration < 49 || rep.Duration > 51 {
+		t.Errorf("default duration %.1f, want the paper's 50 s", rep.Duration)
+	}
+}
+
+func TestRunCheckpoints(t *testing.T) {
+	eng := sim.NewEngine()
+	path := buildPath(eng)
+	rep := iperf.Run(eng, path, 1, iperf.Config{
+		Duration:    20,
+		Checkpoints: []float64{5, 10},
+	})
+	if len(rep.Checkpoints) != 2 {
+		t.Fatalf("checkpoints = %v", rep.Checkpoints)
+	}
+	for i, c := range rep.Checkpoints {
+		if c <= 0 {
+			t.Errorf("checkpoint %d empty", i)
+		}
+	}
+	// Prefix goodput at 5 s includes slow start, so it should not exceed
+	// the 10 s figure by much; both near the final.
+	if rep.Checkpoints[0] > rep.ThroughputBps*1.5 {
+		t.Errorf("5s checkpoint %.2f wildly above final %.2f", rep.Checkpoints[0]/1e6, rep.ThroughputBps/1e6)
+	}
+}
+
+func TestRunCheckpointBeyondDurationIgnored(t *testing.T) {
+	eng := sim.NewEngine()
+	path := buildPath(eng)
+	rep := iperf.Run(eng, path, 1, iperf.Config{Duration: 10, Checkpoints: []float64{5, 30}})
+	if rep.Checkpoints[1] != 0 {
+		t.Errorf("checkpoint beyond duration = %v, want 0", rep.Checkpoints[1])
+	}
+}
+
+func TestRunBytesFinishes(t *testing.T) {
+	eng := sim.NewEngine()
+	path := buildPath(eng)
+	rep := iperf.RunBytes(eng, path, 1, 512*1024, 120, tcpsim.Config{})
+	if rep.BytesAcked < 512*1024 {
+		t.Errorf("acked %d, want ≥ 512 KiB", rep.BytesAcked)
+	}
+	if rep.Duration >= 120 {
+		t.Error("transfer did not complete before maxWait")
+	}
+}
+
+func TestRunBytesRespectsMaxWait(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	// Dead path: nothing completes; RunBytes must return at maxWait.
+	path := netem.NewPath(eng, rng, netem.PathSpec{
+		Name: "dead",
+		Forward: []netem.Hop{
+			{CapacityBps: 8e6, PropDelay: 0.03, BufferBytes: 64 * 1500, LossProb: 1},
+		},
+	})
+	rep := iperf.RunBytes(eng, path, 1, 1<<20, 5, tcpsim.Config{})
+	if rep.Duration < 5 {
+		t.Errorf("returned after %.2f s, want to wait the full 5 s", rep.Duration)
+	}
+	if rep.BytesAcked != 0 {
+		t.Error("bytes acked on a fully lossy path")
+	}
+}
+
+func TestSequentialTransfersIndependent(t *testing.T) {
+	eng := sim.NewEngine()
+	path := buildPath(eng)
+	r1 := iperf.Run(eng, path, 1, iperf.Config{Duration: 10})
+	r2 := iperf.Run(eng, path, 2, iperf.Config{Duration: 10})
+	if r1.ThroughputBps == 0 || r2.ThroughputBps == 0 {
+		t.Fatal("sequential transfers failed")
+	}
+	ratio := r1.ThroughputBps / r2.ThroughputBps
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("sequential transfers differ by %.2fx on an idle path", ratio)
+	}
+}

@@ -1,0 +1,194 @@
+package netem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Hop describes one link of a path.
+type Hop struct {
+	CapacityBps   float64 // link capacity, bits per second
+	PropDelay     float64 // one-way propagation delay, seconds
+	BufferBytes   int     // droptail buffer size, bytes
+	BufferPackets int     // optional packet-count limit (router-style buffers)
+	LossProb      float64 // random (non-congestive) per-packet loss probability
+	RED           bool    // enable RED/AQM dropping (see Queue)
+}
+
+// PathSpec describes a bidirectional path. Reverse may be empty, in which
+// case the reverse direction mirrors Forward.
+type PathSpec struct {
+	Name    string
+	Forward []Hop
+	Reverse []Hop
+}
+
+// Path is an instantiated bidirectional network path. Endpoint A transmits
+// toward B over the forward queues; B transmits toward A over the reverse
+// queues. Cross traffic can be injected at any forward queue.
+type Path struct {
+	Name string
+	Fwd  []*Queue
+	Rev  []*Queue
+	A    *Endpoint
+	B    *Endpoint
+
+	eng *sim.Engine
+}
+
+// NewPath builds the queues and endpoints for spec.
+func NewPath(eng *sim.Engine, rng *sim.RNG, spec PathSpec) *Path {
+	if len(spec.Forward) == 0 {
+		panic(fmt.Sprintf("netem: path %q has no forward hops", spec.Name))
+	}
+	rev := spec.Reverse
+	if len(rev) == 0 {
+		rev = spec.Forward
+	}
+	p := &Path{Name: spec.Name, eng: eng}
+	p.A = newEndpoint(eng, spec.Name+"/A")
+	p.B = newEndpoint(eng, spec.Name+"/B")
+	p.Fwd = buildChain(eng, rng, spec.Name+"/fwd", spec.Forward, p.B)
+	p.Rev = buildChain(eng, rng, spec.Name+"/rev", rev, p.A)
+	p.A.out = p.Fwd[0]
+	p.B.out = p.Rev[0]
+	return p
+}
+
+func buildChain(eng *sim.Engine, rng *sim.RNG, prefix string, hops []Hop, sink Receiver) []*Queue {
+	queues := make([]*Queue, len(hops))
+	next := sink
+	for i := len(hops) - 1; i >= 0; i-- {
+		h := hops[i]
+		q := NewQueue(eng, rng.Fork(), fmt.Sprintf("%s[%d]", prefix, i), h.CapacityBps, h.PropDelay, h.BufferBytes, next)
+		q.LossProb = h.LossProb
+		q.BufferPackets = h.BufferPackets
+		q.RED = h.RED
+		queues[i] = q
+		next = q
+	}
+	return queues
+}
+
+// Bottleneck returns the forward queue with the smallest capacity. Ties go
+// to the earliest hop.
+func (p *Path) Bottleneck() *Queue {
+	best := p.Fwd[0]
+	for _, q := range p.Fwd[1:] {
+		if q.CapacityBps < best.CapacityBps {
+			best = q
+		}
+	}
+	return best
+}
+
+// BottleneckIndex returns the index of Bottleneck within Fwd.
+func (p *Path) BottleneckIndex() int {
+	idx := 0
+	for i, q := range p.Fwd {
+		if q.CapacityBps < p.Fwd[idx].CapacityBps {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// BaseRTT returns the two-way propagation plus per-hop transmission delay
+// for a packet of the given size, with empty queues.
+func (p *Path) BaseRTT(size int) float64 {
+	rtt := 0.0
+	for _, q := range p.Fwd {
+		rtt += q.PropDelay + q.TransmissionTime(size)
+	}
+	for _, q := range p.Rev {
+		rtt += q.PropDelay + q.TransmissionTime(size)
+	}
+	return rtt
+}
+
+// Endpoint is a path terminus: it stamps and injects packets into its
+// direction's first queue and demultiplexes arriving packets by flow ID.
+type Endpoint struct {
+	Name string
+
+	eng      *sim.Engine
+	out      Receiver
+	handlers map[FlowID]Receiver
+	fallback Receiver
+}
+
+func newEndpoint(eng *sim.Engine, name string) *Endpoint {
+	return &Endpoint{
+		Name:     name,
+		eng:      eng,
+		handlers: make(map[FlowID]Receiver),
+		fallback: Drop,
+	}
+}
+
+// Send stamps the packet's departure time and injects it toward the peer.
+func (ep *Endpoint) Send(pkt *Packet) {
+	pkt.SentAt = ep.eng.Now()
+	ep.out.Receive(pkt)
+}
+
+// SendRaw injects without restamping SentAt (used by echo responders that
+// must preserve the original probe timestamp).
+func (ep *Endpoint) SendRaw(pkt *Packet) { ep.out.Receive(pkt) }
+
+// Register installs the handler for a flow. Registering nil removes it.
+func (ep *Endpoint) Register(flow FlowID, h Receiver) {
+	if h == nil {
+		delete(ep.handlers, flow)
+		return
+	}
+	ep.handlers[flow] = h
+}
+
+// Handler returns the receiver registered for a flow (nil if none), so
+// callers can interpose wrappers such as loss or delay injectors.
+func (ep *Endpoint) Handler(flow FlowID) Receiver {
+	return ep.handlers[flow]
+}
+
+// SetFallback installs the handler for packets whose flow is unregistered.
+func (ep *Endpoint) SetFallback(h Receiver) {
+	if h == nil {
+		h = Drop
+	}
+	ep.fallback = h
+}
+
+// Receive implements Receiver by dispatching on the packet's flow.
+func (ep *Endpoint) Receive(pkt *Packet) {
+	if h, ok := ep.handlers[pkt.Flow]; ok {
+		h.Receive(pkt)
+		return
+	}
+	ep.fallback.Receive(pkt)
+}
+
+// DelayReceiver forwards packets to Next after a fixed extra delay. It is
+// used to give cross-traffic TCP flows a different RTT than the target flow
+// without building a separate topology.
+type DelayReceiver struct {
+	Delay float64
+	Next  Receiver
+	eng   *sim.Engine
+}
+
+// NewDelayReceiver wraps next with a fixed delay stage.
+func NewDelayReceiver(eng *sim.Engine, delay float64, next Receiver) *DelayReceiver {
+	return &DelayReceiver{Delay: delay, Next: next, eng: eng}
+}
+
+// Receive implements Receiver.
+func (d *DelayReceiver) Receive(pkt *Packet) {
+	if d.Delay <= 0 {
+		d.Next.Receive(pkt)
+		return
+	}
+	next := d.Next
+	d.eng.Schedule(d.Delay, func() { next.Receive(pkt) })
+}

@@ -1,0 +1,105 @@
+package predict
+
+import "math"
+
+// Hybrid implements the paper's first future-work direction (§7):
+// "examine hybrid predictors, which rely on TCP models as well as on
+// recent history."
+//
+// The hybrid treats the FB formula as a structural prior and learns its
+// multiplicative bias on the given path from history: each time a transfer
+// completes, it observes the ratio R/R̂_FB between the achieved throughput
+// and the formula's prediction, smooths the log-ratio with an EWMA, and
+// scales future FB predictions by the learned correction. With no history
+// it reduces to pure FB; with history it converges toward HB accuracy
+// while retaining FB's ability to react instantly to measured path-state
+// changes (a loss-rate jump moves the prediction immediately, which no
+// pure history method can do).
+type Hybrid struct {
+	fb    *FB
+	alpha float64
+
+	logBias float64
+	n       int
+
+	lastInputs FBInputs
+	havePred   bool
+}
+
+// NewHybrid builds a hybrid predictor around an FB configuration. alpha is
+// the EWMA weight for the bias correction; the paper's HB results suggest
+// weighting recent samples heavily (0.5 works well in our experiments).
+func NewHybrid(cfg FBConfig, alpha float64) *Hybrid {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.5
+	}
+	return &Hybrid{fb: NewFB(cfg), alpha: alpha}
+}
+
+// Name identifies the predictor.
+func (h *Hybrid) Name() string { return "hybrid-FB+EWMA" }
+
+// Predict returns the bias-corrected FB prediction for the given pre-flow
+// measurements.
+func (h *Hybrid) Predict(in FBInputs) float64 {
+	h.lastInputs = in
+	h.havePred = true
+	raw := h.fb.Predict(in)
+	if h.n == 0 {
+		return raw
+	}
+	return raw * expApprox(h.logBias)
+}
+
+// Observe feeds the achieved throughput of the transfer whose inputs were
+// last passed to Predict, updating the bias estimate.
+func (h *Hybrid) Observe(actualBps float64) {
+	if !h.havePred || actualBps <= 0 {
+		return
+	}
+	raw := h.fb.Predict(h.lastInputs)
+	if raw <= 0 {
+		return
+	}
+	sample := logApprox(actualBps / raw)
+	if h.n == 0 {
+		h.logBias = sample
+	} else {
+		h.logBias = h.alpha*sample + (1-h.alpha)*h.logBias
+	}
+	h.n++
+}
+
+// Reset clears the learned bias.
+func (h *Hybrid) Reset() {
+	h.logBias = 0
+	h.n = 0
+	h.havePred = false
+}
+
+// Bias returns the current multiplicative correction (1.0 when untrained).
+func (h *Hybrid) Bias() float64 {
+	if h.n == 0 {
+		return 1
+	}
+	return expApprox(h.logBias)
+}
+
+// Samples returns how many observations trained the bias.
+func (h *Hybrid) Samples() int { return h.n }
+
+// Tiny wrappers so the math dependency stays in one spot and the bias is
+// clamped into a sane band (the correction should fix model bias, not
+// substitute for the model entirely).
+func logApprox(x float64) float64 {
+	l := math.Log(x)
+	if l > 3 {
+		l = 3
+	}
+	if l < -3 {
+		l = -3
+	}
+	return l
+}
+
+func expApprox(x float64) float64 { return math.Exp(x) }

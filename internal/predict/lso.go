@@ -1,0 +1,300 @@
+package predict
+
+import "sort"
+
+// LSOConfig tunes the level-shift/outlier heuristics of paper §5.2. The
+// paper's empirically chosen values are γ = 0.3 (level-shift relative
+// median difference) and ψ = 0.4 (outlier relative deviation).
+type LSOConfig struct {
+	Gamma float64 // γ: minimum relative difference between segment medians
+	Psi   float64 // ψ: minimum relative deviation from the median for outliers
+	// MaxHistory bounds the retained window (0 = default 32). The paper's
+	// applications keep only 10–20 samples; the bound also keeps the
+	// re-scan cheap.
+	MaxHistory int
+}
+
+// DefaultLSOConfig returns the paper's parameter choices.
+func DefaultLSOConfig() LSOConfig {
+	return LSOConfig{Gamma: 0.3, Psi: 0.4, MaxHistory: 32}
+}
+
+func (c LSOConfig) defaults() LSOConfig {
+	if c.Gamma == 0 {
+		c.Gamma = 0.3
+	}
+	if c.Psi == 0 {
+		c.Psi = 0.4
+	}
+	if c.MaxHistory == 0 {
+		c.MaxHistory = 32
+	}
+	return c
+}
+
+// LSO wraps an HB predictor with the paper's two heuristics:
+//
+//   - Outliers — samples deviating from the window median by more than a
+//     relative difference ψ — are excluded from the history fed to the
+//     inner predictor (the most recent sample is never judged an outlier,
+//     since it may instead be the start of a level shift).
+//
+//   - Level shifts — a point X_k where every earlier sample is strictly
+//     below (above) every sample from X_k on, the two segment medians
+//     differ by more than a relative difference γ, and at least two
+//     samples follow X_k — cause all history before X_k to be discarded
+//     and the inner predictor to restart from X_k.
+//
+// After every observation the inner predictor is rebuilt by replaying the
+// retained non-outlier history, so outlier/shift relabelling stays
+// consistent as new data arrives.
+type LSO struct {
+	cfg   LSOConfig
+	inner HB
+
+	history []float64 // raw samples since the last detected level shift
+	// Shifts counts detected level shifts; Outliers counts samples
+	// currently labelled as outliers.
+	Shifts   int
+	Outliers int
+}
+
+// NewLSO wraps inner with the LSO heuristics.
+func NewLSO(inner HB, cfg LSOConfig) *LSO {
+	return &LSO{cfg: cfg.defaults(), inner: inner}
+}
+
+// Name implements HB.
+func (l *LSO) Name() string { return l.inner.Name() + "-LSO" }
+
+// Predict implements HB.
+func (l *LSO) Predict() (float64, bool) { return l.inner.Predict() }
+
+// Reset implements HB.
+func (l *LSO) Reset() {
+	l.history = l.history[:0]
+	l.inner.Reset()
+	l.Shifts = 0
+	l.Outliers = 0
+}
+
+// History returns the retained raw sample count (for tests).
+func (l *LSO) History() int { return len(l.history) }
+
+// Observe implements HB.
+func (l *LSO) Observe(x float64) {
+	l.history = append(l.history, x)
+	if len(l.history) > l.cfg.MaxHistory {
+		l.history = l.history[len(l.history)-l.cfg.MaxHistory:]
+	}
+
+	clean, outliers := l.removeOutliers(l.history)
+	if k := l.findLevelShift(clean); k > 0 {
+		l.Shifts++
+		// Restart from the shift point: translate the index in the clean
+		// series back to the raw history and drop everything before it.
+		raw := l.cleanIndexToRaw(k, outliers)
+		l.history = append([]float64(nil), l.history[raw:]...)
+		clean, outliers = l.removeOutliers(l.history)
+	}
+	l.Outliers = countTrue(outliers)
+
+	l.inner.Reset()
+	for _, v := range clean {
+		l.inner.Observe(v)
+	}
+}
+
+// removeOutliers returns the samples that are not outliers, plus the
+// outlier mask over the raw window. A sample is an outlier if it deviates
+// from the window median by more than ψ in relative terms AND is part of a
+// short (≤2 samples), already-ended run of such deviations. Longer runs,
+// and runs still in progress at the end of the window, are candidate level
+// shifts and must stay in the history for the shift detector — otherwise a
+// genuine shift would be shredded into "outliers" before it can ever be
+// recognized.
+func (l *LSO) removeOutliers(xs []float64) ([]float64, []bool) {
+	mask := make([]bool, len(xs))
+	if len(xs) < 3 {
+		return append([]float64(nil), xs...), mask
+	}
+	med := medianOf(xs)
+	if med <= 0 {
+		return append([]float64(nil), xs...), mask
+	}
+	deviant := make([]bool, len(xs))
+	for i, v := range xs {
+		deviant[i] = relDiff(v, med) > l.cfg.Psi
+	}
+	for i := 0; i < len(xs); {
+		if !deviant[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(xs) && deviant[j] {
+			j++
+		}
+		if j-i <= 2 && j < len(xs) {
+			for k := i; k < j; k++ {
+				mask[k] = true
+			}
+		}
+		i = j
+	}
+	clean := make([]float64, 0, len(xs))
+	for i, v := range xs {
+		if !mask[i] {
+			clean = append(clean, v)
+		}
+	}
+	return clean, mask
+}
+
+// findLevelShift returns the index k (in the clean series) of a detected
+// level shift, or 0 if none. When several k qualify it picks the one with
+// the largest relative median difference.
+func (l *LSO) findLevelShift(xs []float64) int {
+	n := len(xs)
+	if n < 4 {
+		return 0
+	}
+	bestK, bestDiff := 0, 0.0
+	// Condition 3: k+2 ≤ n with 1-based indexing, i.e. at least two
+	// samples follow X_k. With 0-based k: k ≤ n-3.
+	for k := 1; k <= n-3; k++ {
+		lowMax, lowMin := maxOf(xs[:k]), minOf(xs[:k])
+		hiMax, hiMin := maxOf(xs[k:]), minOf(xs[k:])
+		increasing := lowMax < hiMin
+		decreasing := lowMin > hiMax
+		if !increasing && !decreasing {
+			continue
+		}
+		m1, m2 := medianOf(xs[:k]), medianOf(xs[k:])
+		d := relDiff(m1, m2)
+		if d > l.cfg.Gamma && d > bestDiff {
+			bestK, bestDiff = k, d
+		}
+	}
+	return bestK
+}
+
+// cleanIndexToRaw maps index k of the outlier-free series to the
+// corresponding index in the raw history.
+func (l *LSO) cleanIndexToRaw(k int, mask []bool) int {
+	seen := 0
+	for i := range mask {
+		if mask[i] {
+			continue
+		}
+		if seen == k {
+			return i
+		}
+		seen++
+	}
+	return len(mask) - 1
+}
+
+// relDiff returns |a-b| / min(a, b), the paper's symmetric relative
+// difference (infinite when the smaller value is non-positive but the
+// values differ).
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	lo := a
+	if b < lo {
+		lo = b
+	}
+	if lo <= 0 {
+		return 1e18
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / lo
+}
+
+func medianOf(xs []float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func countTrue(mask []bool) int {
+	n := 0
+	for _, b := range mask {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// EvalResult summarizes running an HB predictor over a series.
+type EvalResult struct {
+	Name   string
+	Errors []float64 // relative error per predicted sample
+	// Predictions pairs each error with its forecast and actual value.
+	Predictions int
+}
+
+// Evaluate runs a fresh predictor over the series, collecting the relative
+// error E = (X̂-X)/min(X̂,X) for every sample where a forecast existed.
+// The predictor is left in its final state.
+func Evaluate(p HB, series []float64) EvalResult {
+	res := EvalResult{Name: p.Name()}
+	for _, x := range series {
+		if pred, ok := p.Predict(); ok {
+			res.Errors = append(res.Errors, relErr(pred, x))
+			res.Predictions++
+		}
+		p.Observe(x)
+	}
+	return res
+}
+
+func relErr(pred, actual float64) float64 {
+	if pred == actual {
+		return 0
+	}
+	lo := pred
+	if actual < lo {
+		lo = actual
+	}
+	if lo <= 0 {
+		if pred > actual {
+			return 1e18
+		}
+		return -1e18
+	}
+	return (pred - actual) / lo
+}

@@ -1,0 +1,178 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of scheduled
+// events. Events scheduled for the same instant fire in scheduling order,
+// which makes simulation runs bit-for-bit reproducible for a given seed.
+// All times are float64 seconds of virtual time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Timer is a handle to a scheduled event. It can be cancelled before it
+// fires; cancelling an already-fired or already-cancelled timer is a no-op.
+type Timer struct {
+	at       float64
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 when not in the heap
+	canceled bool
+}
+
+// Time returns the virtual time at which the timer is scheduled to fire.
+func (t *Timer) Time() float64 { return t.at }
+
+// Cancel prevents the timer from firing. It reports whether the timer was
+// still pending (and is now cancelled).
+func (t *Timer) Cancel() bool {
+	if t.canceled || t.index < 0 {
+		return false
+	}
+	t.canceled = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled and not cancelled.
+func (t *Timer) Pending() bool { return !t.canceled && t.index >= 0 }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now       float64
+	seq       uint64
+	events    eventHeap
+	processed uint64
+	stopped   bool
+}
+
+// NewEngine returns an engine with the clock at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled timers that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay seconds of virtual time. A negative delay is
+// treated as zero. It returns a Timer that may be cancelled.
+func (e *Engine) Schedule(delay float64, fn func()) *Timer {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Scheduling in the past panics,
+// since it indicates a logic error in the caller.
+func (e *Engine) At(t float64, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e.seq++
+	tm := &Timer{at: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.events, tm)
+	return tm
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		tm := heap.Pop(&e.events).(*Timer)
+		if tm.canceled {
+			continue
+		}
+		e.now = tm.at
+		e.processed++
+		tm.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the clock would pass t or no
+// events remain. After RunUntil the clock is exactly t if any event horizon
+// reached it, otherwise the time of the last executed event.
+func (e *Engine) RunUntil(t float64) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.peek()
+		if next == nil {
+			return
+		}
+		if next.at > t {
+			e.now = t
+			return
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Run executes all pending events until none remain or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Stop halts Run/RunUntil after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() *Timer {
+	for len(e.events) > 0 {
+		if !e.events[0].canceled {
+			return e.events[0]
+		}
+		heap.Pop(&e.events)
+	}
+	return nil
+}

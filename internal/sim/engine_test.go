@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	eng := NewEngine()
+	var fired []float64
+	for _, d := range []float64{0.5, 0.1, 0.3, 0.2, 0.4} {
+		d := d
+		eng.Schedule(d, func() { fired = append(fired, d) })
+	}
+	eng.Run()
+	if !sort.Float64sAreSorted(fired) {
+		t.Errorf("events fired out of order: %v", fired)
+	}
+	if len(fired) != 5 {
+		t.Errorf("fired %d events, want 5", len(fired))
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	eng := NewEngine()
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(1.0, func() { fired = append(fired, i) })
+	}
+	eng.Run()
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", fired)
+		}
+	}
+}
+
+func TestEngineClockAdvances(t *testing.T) {
+	eng := NewEngine()
+	var at float64
+	eng.Schedule(2.5, func() { at = eng.Now() })
+	eng.Run()
+	if at != 2.5 {
+		t.Errorf("event saw clock %v, want 2.5", at)
+	}
+	if eng.Now() != 2.5 {
+		t.Errorf("final clock %v, want 2.5", eng.Now())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	eng.Schedule(1, func() { fired++ })
+	eng.Schedule(2, func() { fired++ })
+	eng.Schedule(3, func() { fired++ })
+	eng.RunUntil(2.5)
+	if fired != 2 {
+		t.Errorf("fired %d events by t=2.5, want 2", fired)
+	}
+	if eng.Now() != 2.5 {
+		t.Errorf("clock %v after RunUntil(2.5)", eng.Now())
+	}
+	eng.RunUntil(10)
+	if fired != 3 {
+		t.Errorf("fired %d events total, want 3", fired)
+	}
+}
+
+func TestEngineRunUntilIdleAdvancesClock(t *testing.T) {
+	eng := NewEngine()
+	eng.RunUntil(7)
+	if eng.Now() != 7 {
+		t.Errorf("clock %v, want 7 even with no events", eng.Now())
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	tm := eng.Schedule(1, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first cancel should report true")
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel should report false")
+	}
+	eng.Run()
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+}
+
+func TestCancelFromEvent(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	victim := eng.Schedule(2, func() { fired = true })
+	eng.Schedule(1, func() { victim.Cancel() })
+	eng.Run()
+	if fired {
+		t.Error("timer cancelled by earlier event still fired")
+	}
+}
+
+func TestScheduleInsideEvent(t *testing.T) {
+	eng := NewEngine()
+	var times []float64
+	eng.Schedule(1, func() {
+		eng.Schedule(1, func() { times = append(times, eng.Now()) })
+	})
+	eng.Run()
+	if len(times) != 1 || times[0] != 2 {
+		t.Errorf("nested event times = %v, want [2]", times)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	eng := NewEngine()
+	eng.RunUntil(5)
+	fired := false
+	eng.Schedule(-1, func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Error("negative-delay event did not fire")
+	}
+}
+
+func TestAtPastPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.RunUntil(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("At in the past did not panic")
+		}
+	}()
+	eng.At(1, func() {})
+}
+
+func TestStop(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	eng.Schedule(1, func() { fired++; eng.Stop() })
+	eng.Schedule(2, func() { fired++ })
+	eng.Run()
+	if fired != 1 {
+		t.Errorf("fired %d events after Stop, want 1", fired)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	eng := NewEngine()
+	for i := 0; i < 7; i++ {
+		eng.Schedule(float64(i), func() {})
+	}
+	eng.Run()
+	if eng.Processed() != 7 {
+		t.Errorf("processed %d, want 7", eng.Processed())
+	}
+}
+
+// TestEventOrderProperty: for any set of non-negative delays, execution
+// order is non-decreasing in time.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		eng := NewEngine()
+		var fired []float64
+		for _, r := range raw {
+			d := float64(r) / 100
+			eng.Schedule(d, func() { fired = append(fired, d) })
+		}
+		eng.Run()
+		return len(fired) == len(raw) && sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	f1 := parent.Fork()
+	f2 := parent.Fork()
+	same := true
+	for i := 0; i < 20; i++ {
+		if f1.Float64() != f2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("sibling forks produced identical streams")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	rng := NewRNG(1)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += rng.Exp(2.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("Exp mean %.3f, want ≈2.5", mean)
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	rng := NewRNG(1)
+	const alpha, xm = 1.5, 2.0
+	var sum float64
+	const n = 500000
+	for i := 0; i < n; i++ {
+		v := rng.Pareto(alpha, xm)
+		if v < xm {
+			t.Fatalf("Pareto sample %v below scale %v", v, xm)
+		}
+		sum += v
+	}
+	// E[X] = xm·α/(α-1) = 6. The heavy tail converges slowly; allow 10%.
+	mean := sum / n
+	want := xm * alpha / (alpha - 1)
+	if math.Abs(mean-want) > want*0.1 {
+		t.Errorf("Pareto mean %.3f, want ≈%.1f", mean, want)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := NewRNG(3)
+	f := func(a, b uint16) bool {
+		lo, hi := float64(a), float64(a)+float64(b)+1
+		v := rng.Uniform(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

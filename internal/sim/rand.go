@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a seeded pseudo-random source with the distributions the
+// simulator needs. Each traffic source and path owns its own RNG stream so
+// component behaviour is independent of evaluation order.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent child stream. Successive calls yield distinct
+// streams; forking does not perturb the parent beyond one draw.
+func (g *RNG) Fork() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Exp returns an exponential sample with the given mean.
+func (g *RNG) Exp(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Normal returns a normal sample with the given mean and standard deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return g.r.NormFloat64()*stddev + mean
+}
+
+// Pareto returns a Pareto sample with shape alpha and scale xm (minimum
+// value). For alpha <= 1 the distribution has infinite mean; callers that
+// need a finite mean should pass alpha > 1.
+func (g *RNG) Pareto(alpha, xm float64) float64 {
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }

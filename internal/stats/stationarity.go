@@ -1,0 +1,95 @@
+package stats
+
+import "math"
+
+// Stationarity tests the paper's §5.2 points to (Bendat & Piersol): the
+// run test and the reverse-arrangement test. The paper argues these are
+// the wrong tool for its problem — trends and periodicities are handled by
+// the linear predictors, and outliers/shifts exist even in stationary
+// series — but they are the standard baseline, so the reproduction
+// provides them and an experiment relating their verdicts to prediction
+// accuracy.
+
+// RunTest performs the runs-above-and-below-the-median test. It returns
+// the z-score of the observed number of runs against the distribution
+// expected for an exchangeable (stationary, independent) sequence;
+// |z| > 1.96 rejects stationarity at the 5% level. Series shorter than 10
+// samples return z = 0.
+func RunTest(xs []float64) float64 {
+	if len(xs) < 10 {
+		return 0
+	}
+	med := Median(xs)
+	// Classify each sample; drop exact ties with the median, as standard.
+	var signs []bool
+	for _, x := range xs {
+		if x == med {
+			continue
+		}
+		signs = append(signs, x > med)
+	}
+	n := len(signs)
+	if n < 10 {
+		return 0
+	}
+	var n1, n2 int
+	runs := 1
+	for i, s := range signs {
+		if s {
+			n1++
+		} else {
+			n2++
+		}
+		if i > 0 && signs[i] != signs[i-1] {
+			runs++
+		}
+	}
+	if n1 == 0 || n2 == 0 {
+		return 0
+	}
+	f1, f2 := float64(n1), float64(n2)
+	mean := 2*f1*f2/(f1+f2) + 1
+	varr := 2 * f1 * f2 * (2*f1*f2 - f1 - f2) /
+		((f1 + f2) * (f1 + f2) * (f1 + f2 - 1))
+	if varr <= 0 {
+		return 0
+	}
+	return (float64(runs) - mean) / math.Sqrt(varr)
+}
+
+// ReverseArrangements performs the reverse-arrangement test: A counts the
+// pairs (i, j), i < j, with x_i > x_j. For a stationary independent
+// sequence A is approximately normal with mean n(n-1)/4; the returned
+// z-score is the standardized statistic. Large |z| indicates a trend
+// (negative z for an increasing trend). Series shorter than 10 samples
+// return 0.
+func ReverseArrangements(xs []float64) float64 {
+	n := len(xs)
+	if n < 10 {
+		return 0
+	}
+	var a int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if xs[i] > xs[j] {
+				a++
+			}
+		}
+	}
+	fn := float64(n)
+	mean := fn * (fn - 1) / 4
+	varr := fn * (2*fn + 5) * (fn - 1) / 72
+	return (float64(a) - mean) / math.Sqrt(varr)
+}
+
+// StationaryByRunTest reports whether the run test fails to reject
+// stationarity at the 5% level.
+func StationaryByRunTest(xs []float64) bool {
+	return math.Abs(RunTest(xs)) <= 1.96
+}
+
+// TrendByReverseArrangements reports whether the reverse-arrangement test
+// rejects "no trend" at the 5% level.
+func TrendByReverseArrangements(xs []float64) bool {
+	return math.Abs(ReverseArrangements(xs)) > 1.96
+}

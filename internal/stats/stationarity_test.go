@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func noise(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 10 + r.NormFloat64()
+	}
+	return xs
+}
+
+func TestRunTestStationaryNoise(t *testing.T) {
+	rejections := 0
+	for seed := int64(0); seed < 40; seed++ {
+		if !StationaryByRunTest(noise(100, seed)) {
+			rejections++
+		}
+	}
+	// 5%-level test: expect ~2 rejections in 40; allow up to 6.
+	if rejections > 6 {
+		t.Errorf("run test rejected %d/40 stationary series", rejections)
+	}
+}
+
+func TestRunTestDetectsLevelShift(t *testing.T) {
+	xs := append(noise(50, 1), noise(50, 2)...)
+	for i := 50; i < 100; i++ {
+		xs[i] += 8 // strong shift
+	}
+	z := RunTest(xs)
+	if math.Abs(z) <= 1.96 {
+		t.Errorf("run test z = %v on a shifted series, want |z| > 1.96", z)
+	}
+	// A shift concentrates same-side runs → far fewer runs → negative z.
+	if z >= 0 {
+		t.Errorf("z = %v, want negative (too few runs)", z)
+	}
+}
+
+func TestRunTestShortSeries(t *testing.T) {
+	if RunTest([]float64{1, 2, 3}) != 0 {
+		t.Error("short series should return 0")
+	}
+	if RunTest(nil) != 0 {
+		t.Error("nil series should return 0")
+	}
+}
+
+func TestRunTestConstantSeries(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 5
+	}
+	if RunTest(xs) != 0 {
+		t.Error("constant series (all ties) should return 0")
+	}
+}
+
+func TestReverseArrangementsNoTrend(t *testing.T) {
+	rejections := 0
+	for seed := int64(0); seed < 40; seed++ {
+		if TrendByReverseArrangements(noise(80, seed)) {
+			rejections++
+		}
+	}
+	if rejections > 6 {
+		t.Errorf("reverse-arrangement flagged %d/40 trendless series", rejections)
+	}
+}
+
+func TestReverseArrangementsDetectsTrend(t *testing.T) {
+	xs := noise(80, 3)
+	for i := range xs {
+		xs[i] += 0.1 * float64(i)
+	}
+	z := ReverseArrangements(xs)
+	if math.Abs(z) <= 1.96 {
+		t.Errorf("z = %v on a trending series", z)
+	}
+	// Increasing trend → few reverse arrangements → A below mean → z < 0.
+	if z >= 0 {
+		t.Errorf("z = %v, want negative for increasing trend", z)
+	}
+	// Decreasing trend flips the sign.
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+	if z2 := ReverseArrangements(xs); z2 <= 0 {
+		t.Errorf("z = %v for decreasing trend, want positive", z2)
+	}
+}
+
+func TestReverseArrangementsShortSeries(t *testing.T) {
+	if ReverseArrangements([]float64{3, 2, 1}) != 0 {
+		t.Error("short series should return 0")
+	}
+}
+
+func TestReverseArrangementsIgnoresLevelShiftDirectionless(t *testing.T) {
+	// A shift up then back down has no net trend; the statistic should be
+	// mild compared to a monotone trend of the same magnitude.
+	xs := noise(90, 7)
+	for i := 30; i < 60; i++ {
+		xs[i] += 6
+	}
+	shiftZ := math.Abs(ReverseArrangements(xs))
+	trend := noise(90, 7)
+	for i := range trend {
+		trend[i] += 0.15 * float64(i)
+	}
+	trendZ := math.Abs(ReverseArrangements(trend))
+	if shiftZ >= trendZ {
+		t.Errorf("bump |z|=%v should be below trend |z|=%v", shiftZ, trendZ)
+	}
+}

@@ -1,0 +1,145 @@
+package tcpsim
+
+// Block is a half-open segment range [Start, End).
+type Block struct {
+	Start, End int64
+}
+
+// Len returns the number of segments the block covers.
+func (b Block) Len() int64 { return b.End - b.Start }
+
+// blockList is a sorted list of disjoint, non-adjacent half-open ranges.
+// It backs both the receiver's out-of-order buffer and the sender's SACK
+// scoreboard.
+type blockList struct {
+	blocks []Block
+}
+
+// Add merges [start, end) into the list.
+func (l *blockList) Add(start, end int64) {
+	if end <= start {
+		return
+	}
+	bs := l.blocks
+	// Find insertion window: all blocks overlapping or adjacent to
+	// [start, end) get coalesced.
+	i := 0
+	for i < len(bs) && bs[i].End < start {
+		i++
+	}
+	j := i
+	for j < len(bs) && bs[j].Start <= end {
+		if bs[j].Start < start {
+			start = bs[j].Start
+		}
+		if bs[j].End > end {
+			end = bs[j].End
+		}
+		j++
+	}
+	merged := append(bs[:i:i], Block{start, end})
+	merged = append(merged, bs[j:]...)
+	l.blocks = merged
+}
+
+// Contains reports whether seq is covered.
+func (l *blockList) Contains(seq int64) bool {
+	for _, b := range l.blocks {
+		if seq < b.Start {
+			return false
+		}
+		if seq < b.End {
+			return true
+		}
+	}
+	return false
+}
+
+// TrimBelow removes coverage of all segments below seq.
+func (l *blockList) TrimBelow(seq int64) {
+	bs := l.blocks
+	i := 0
+	for i < len(bs) && bs[i].End <= seq {
+		i++
+	}
+	bs = bs[i:]
+	if len(bs) > 0 && bs[0].Start < seq {
+		bs[0].Start = seq
+	}
+	l.blocks = bs
+}
+
+// Max returns the highest covered segment + 1, or 0 when empty.
+func (l *blockList) Max() int64 {
+	if len(l.blocks) == 0 {
+		return 0
+	}
+	return l.blocks[len(l.blocks)-1].End
+}
+
+// First returns the lowest block and whether one exists.
+func (l *blockList) First() (Block, bool) {
+	if len(l.blocks) == 0 {
+		return Block{}, false
+	}
+	return l.blocks[0], true
+}
+
+// PopFirstIfStartsAt removes and returns the first block when it starts
+// exactly at seq (used by the receiver to advance the cumulative ACK).
+func (l *blockList) PopFirstIfStartsAt(seq int64) (Block, bool) {
+	if len(l.blocks) == 0 || l.blocks[0].Start != seq {
+		return Block{}, false
+	}
+	b := l.blocks[0]
+	l.blocks = l.blocks[1:]
+	return b, true
+}
+
+// Snapshot returns a copy of the block slice.
+func (l *blockList) Snapshot() []Block {
+	return append([]Block(nil), l.blocks...)
+}
+
+// Subtract returns the portions of [start, end) not covered by the list.
+func (l *blockList) Subtract(start, end int64) []Block {
+	var out []Block
+	cur := start
+	for _, b := range l.blocks {
+		if b.End <= cur {
+			continue
+		}
+		if b.Start >= end {
+			break
+		}
+		if b.Start > cur {
+			e := b.Start
+			if e > end {
+				e = end
+			}
+			out = append(out, Block{cur, e})
+		}
+		if b.End > cur {
+			cur = b.End
+		}
+		if cur >= end {
+			return out
+		}
+	}
+	if cur < end {
+		out = append(out, Block{cur, end})
+	}
+	return out
+}
+
+// Count returns the number of blocks.
+func (l *blockList) Count() int { return len(l.blocks) }
+
+// Covered returns the total number of covered segments.
+func (l *blockList) Covered() int64 {
+	var n int64
+	for _, b := range l.blocks {
+		n += b.Len()
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+package tcpsim_test
+
+import (
+	"testing"
+
+	"repro/internal/iperf"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+func simplePath(eng *sim.Engine, capBps float64, rttSec float64, bufBytes int) *netem.Path {
+	rng := sim.NewRNG(1)
+	return netem.NewPath(eng, rng, netem.PathSpec{
+		Name: "t",
+		Forward: []netem.Hop{
+			{CapacityBps: capBps, PropDelay: rttSec / 4, BufferBytes: bufBytes},
+			{CapacityBps: capBps * 10, PropDelay: rttSec / 4, BufferBytes: bufBytes * 10},
+		},
+		Reverse: []netem.Hop{
+			{CapacityBps: capBps * 10, PropDelay: rttSec / 4, BufferBytes: bufBytes * 10},
+			{CapacityBps: capBps * 10, PropDelay: rttSec / 4, BufferBytes: bufBytes * 10},
+		},
+	})
+}
+
+// TestSaturatesIdlePath checks a congestion-limited transfer on an idle
+// path approaches link capacity.
+func TestSaturatesIdlePath(t *testing.T) {
+	eng := sim.NewEngine()
+	path := simplePath(eng, 10e6, 0.04, 64*1500)
+	rep := iperf.Run(eng, path, 1, iperf.Config{Duration: 30})
+	t.Logf("throughput=%.2f Mbps rtt=%.1f ms loss=%.4f events=%d timeouts=%d rtx=%d segs=%d",
+		rep.ThroughputBps/1e6, rep.FlowRTT*1e3, rep.FlowLossRate, rep.LossEvents, rep.Timeouts, rep.SegmentsSent, rep.SegmentsSent)
+	if rep.ThroughputBps < 7e6 {
+		t.Errorf("throughput %.2f Mbps, want > 7 Mbps on idle 10 Mbps path", rep.ThroughputBps/1e6)
+	}
+	if rep.ThroughputBps > 10e6 {
+		t.Errorf("throughput %.2f Mbps exceeds capacity", rep.ThroughputBps/1e6)
+	}
+}
+
+// TestWindowLimited checks a small advertised window caps throughput near W/RTT.
+func TestWindowLimited(t *testing.T) {
+	eng := sim.NewEngine()
+	path := simplePath(eng, 10e6, 0.08, 64*1500)
+	rep := iperf.Run(eng, path, 1, iperf.Config{
+		Duration: 30,
+		TCP:      tcpsim.Config{MaxWindowBytes: 20 * 1024},
+	})
+	expect := 20 * 1024 * 8 / 0.08 // ~2 Mbps
+	t.Logf("throughput=%.2f Mbps expect≈%.2f Mbps rtt=%.1f ms loss=%.5f",
+		rep.ThroughputBps/1e6, expect/1e6, rep.FlowRTT*1e3, rep.FlowLossRate)
+	if rep.ThroughputBps > expect*1.25 || rep.ThroughputBps < expect*0.5 {
+		t.Errorf("window-limited throughput %.2f Mbps, want near %.2f", rep.ThroughputBps/1e6, expect/1e6)
+	}
+	if rep.FlowLossRate > 0.001 {
+		t.Errorf("window-limited flow should be nearly lossless, got p=%.4f", rep.FlowLossRate)
+	}
+}

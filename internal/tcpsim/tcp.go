@@ -1,0 +1,709 @@
+// Package tcpsim implements a packet-level TCP sender and receiver over
+// netem paths, modelled on the Linux TCP of the paper's era: slow start,
+// congestion avoidance, SACK-based loss recovery with a pipe (conservation
+// of packets) algorithm, NewReno-style recovery when SACK is disabled,
+// RFC 6298 retransmission timeouts with exponential backoff and a 1 s
+// minimum, go-back-N style retransmission of the outstanding window after a
+// timeout, Karn-correct timed-segment RTT sampling, delayed ACKs, and an
+// advertised-window cap (the "socket buffer" knob the paper controls
+// through IPerf's -w).
+//
+// Besides moving bytes, connections export the quantities the paper's
+// analysis needs: the average RTT the flow experienced (T), the packet loss
+// rate it saw (p), and the congestion-event rate (p′).
+package tcpsim
+
+import (
+	"math"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Config sets connection parameters. The zero value is completed by
+// Defaults.
+type Config struct {
+	MSS             int     // segment payload bytes (default 1460)
+	HeaderBytes     int     // TCP/IP header overhead per packet (default 40)
+	MaxWindowBytes  int     // advertised window W / socket buffer (default 1 MB)
+	InitialCwnd     float64 // initial congestion window, segments (default 2)
+	InitialSsthresh float64 // initial slow-start threshold, segments (default +inf)
+	DelayedAck      bool    // ACK every other in-order segment
+	DelAckTimeout   float64 // delayed-ACK timer (default 0.2 s)
+	MinRTO          float64 // minimum RTO (default 1 s, per RFC 6298)
+	MaxRTO          float64 // maximum RTO (default 60 s)
+	NoSACK          bool    // disable SACK; fall back to NewReno recovery
+}
+
+// Defaults fills unset fields with standard values and returns the result.
+func (c Config) Defaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = 40
+	}
+	if c.MaxWindowBytes == 0 {
+		c.MaxWindowBytes = 1 << 20
+	}
+	if c.InitialCwnd == 0 {
+		c.InitialCwnd = 2
+	}
+	if c.InitialSsthresh == 0 {
+		c.InitialSsthresh = math.Inf(1)
+	}
+	if c.DelAckTimeout == 0 {
+		c.DelAckTimeout = 0.2
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 1.0
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 60.0
+	}
+	return c
+}
+
+// BPerACK returns the b parameter of the throughput formulas implied by the
+// ACK policy: 2 with delayed ACKs, 1 without.
+func (c Config) BPerACK() int {
+	if c.DelayedAck {
+		return 2
+	}
+	return 1
+}
+
+// Stats aggregates what a connection did and observed.
+type Stats struct {
+	Start           float64 // virtual time the connection started
+	SegmentsSent    int64   // data segments transmitted, including retransmits
+	Retransmits     int64   // retransmitted segments
+	FastRetransmits int64   // loss-recovery (non-timeout) retransmits
+	Timeouts        int64   // RTO expirations
+	LossEvents      int64   // congestion events (recovery episodes + timeouts)
+	BytesAcked      int64   // payload bytes cumulatively acknowledged
+	AcksReceived    int64
+	DupAcks         int64
+
+	RTTSamples int64
+	rttSum     float64
+	rttMin     float64
+	rttMax     float64
+}
+
+// MeanRTT returns the average of the connection's RTT samples, in seconds
+// (0 if no sample was taken).
+func (s *Stats) MeanRTT() float64 {
+	if s.RTTSamples == 0 {
+		return 0
+	}
+	return s.rttSum / float64(s.RTTSamples)
+}
+
+// MinRTT returns the smallest RTT sample (0 if none).
+func (s *Stats) MinRTT() float64 {
+	if s.RTTSamples == 0 {
+		return 0
+	}
+	return s.rttMin
+}
+
+// MaxRTT returns the largest RTT sample (0 if none).
+func (s *Stats) MaxRTT() float64 { return s.rttMax }
+
+// LossRate returns p: the fraction of transmitted data segments that were
+// lost, estimated from retransmissions.
+func (s *Stats) LossRate() float64 {
+	if s.SegmentsSent == 0 {
+		return 0
+	}
+	return float64(s.Retransmits) / float64(s.SegmentsSent)
+}
+
+// CongestionEventRate returns p′: congestion events per transmitted
+// segment, the quantity the PFTK derivation actually calls for (see Goyal
+// et al. and Section 3.3 of the paper).
+func (s *Stats) CongestionEventRate() float64 {
+	if s.SegmentsSent == 0 {
+		return 0
+	}
+	return float64(s.LossEvents) / float64(s.SegmentsSent)
+}
+
+// segState tracks one outstanding segment.
+type segState struct {
+	inFlight int8 // copies believed to be in the network
+	sacked   bool
+	lost     bool
+	rtx      bool // retransmitted at least once (Karn)
+}
+
+// dupThresh is the classic three-duplicate-ACK loss threshold.
+const dupThresh = 3
+
+// Sender is the TCP source. Create with NewSender, then Start. The sender
+// keeps transmitting until Stop (bulk mode) or until the optional byte
+// limit is exhausted.
+type Sender struct {
+	cfg  Config
+	eng  *sim.Engine
+	out  *netem.Endpoint
+	flow netem.FlowID
+
+	// Sequence space is counted in segments.
+	nextSeq    int64
+	highestAck int64 // first unacknowledged segment
+	segs       map[int64]*segState
+	pipe       int // conservation-of-packets estimate of segments in flight
+
+	cwnd       float64 // segments
+	ssthresh   float64 // segments
+	dupAcks    int
+	inRecovery bool
+	recover    int64 // nextSeq at loss detection
+
+	// SACK scoreboard.
+	scoreboard blockList
+	highSacked int64 // highest sacked segment + 1
+	lossScan   int64 // next seq to evaluate for loss declaration
+	rtxCursor  int64 // next candidate lost segment to retransmit
+	// vackCursor attributes NewReno duplicate ACKs to concrete segments:
+	// each dup ACK proves some post-hole segment arrived, so that
+	// segment's in-flight copy is retired from the pipe here rather than
+	// double-retired later by the cumulative ACK.
+	vackCursor int64
+
+	// RTO state (RFC 6298).
+	srtt, rttvar float64
+	rto          float64
+	backoff      int
+	rtoTimer     *sim.Timer
+
+	// Timed-segment RTT sampling (Karn's algorithm).
+	timing   bool
+	timedSeq int64
+	timedAt  float64
+
+	limitSegments int64 // 0 = unlimited
+	stopped       bool
+	done          func()
+
+	stats Stats
+}
+
+// NewSender creates a sender for flow on endpoint ep. ACK packets for the
+// flow must be routed back to ep (the caller wires the receiver on the peer
+// endpoint). cfg is completed with Defaults.
+func NewSender(eng *sim.Engine, ep *netem.Endpoint, flow netem.FlowID, cfg Config) *Sender {
+	cfg = cfg.Defaults()
+	s := &Sender{
+		cfg:      cfg,
+		eng:      eng,
+		out:      ep,
+		flow:     flow,
+		segs:     make(map[int64]*segState),
+		cwnd:     cfg.InitialCwnd,
+		ssthresh: cfg.InitialSsthresh,
+		rto:      3.0, // RFC 6298 initial RTO
+	}
+	ep.Register(flow, netem.ReceiverFunc(s.onAck))
+	return s
+}
+
+// SetLimit caps the transfer at n payload bytes (rounded up to whole
+// segments). Zero means unlimited. The done callback, if non-nil, fires
+// when the last byte is acknowledged.
+func (s *Sender) SetLimit(n int64, done func()) {
+	if n <= 0 {
+		s.limitSegments = 0
+	} else {
+		s.limitSegments = (n + int64(s.cfg.MSS) - 1) / int64(s.cfg.MSS)
+	}
+	s.done = done
+}
+
+// Start begins transmitting.
+func (s *Sender) Start() {
+	s.stats.Start = s.eng.Now()
+	s.trySend()
+}
+
+// Stop halts the sender: cancels timers and stops transmission. Stats
+// remain readable.
+func (s *Sender) Stop() {
+	s.stopped = true
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+		s.rtoTimer = nil
+	}
+	s.out.Register(s.flow, nil)
+}
+
+// Stats returns a pointer to the sender's counters (live; callers must not
+// mutate).
+func (s *Sender) Stats() *Stats { return &s.stats }
+
+// BytesAcked returns payload bytes cumulatively acknowledged so far.
+func (s *Sender) BytesAcked() int64 { return s.stats.BytesAcked }
+
+// Cwnd returns the current congestion window in segments.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// Ssthresh returns the current slow-start threshold in segments.
+func (s *Sender) Ssthresh() float64 { return s.ssthresh }
+
+// InRecovery reports whether the sender is in loss recovery.
+func (s *Sender) InRecovery() bool { return s.inRecovery }
+
+// RTO returns the current retransmission timeout in seconds.
+func (s *Sender) RTO() float64 { return s.rto }
+
+// SRTT returns the smoothed RTT estimate in seconds (0 before any sample).
+func (s *Sender) SRTT() float64 { return s.srtt }
+
+// Pipe returns the current in-flight estimate in segments.
+func (s *Sender) Pipe() int { return s.pipe }
+
+func (s *Sender) maxWindowSegs() int64 {
+	w := int64(s.cfg.MaxWindowBytes) / int64(s.cfg.MSS)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (s *Sender) seg(seq int64) *segState {
+	st, ok := s.segs[seq]
+	if !ok {
+		st = &segState{}
+		s.segs[seq] = st
+	}
+	return st
+}
+
+// trySend transmits as much as the congestion and advertised windows
+// allow: lost segments first (loss recovery), then new data.
+func (s *Sender) trySend() {
+	if s.stopped {
+		return
+	}
+	capSegs := s.cwnd
+	if !s.inRecovery && s.dupAcks > 0 {
+		// Limited Transmit (RFC 3042): the first two duplicate ACKs may
+		// clock out new segments, avoiding an RTO when the window is too
+		// small for three duplicate ACKs to arrive.
+		lt := float64(s.dupAcks)
+		if lt > 2 {
+			lt = 2
+		}
+		capSegs += lt
+	}
+	if w := float64(s.maxWindowSegs()); w < capSegs {
+		capSegs = w
+	}
+	for float64(s.pipe) < capSegs {
+		if seq, ok := s.nextLost(); ok {
+			s.transmit(seq, true)
+			continue
+		}
+		// New data, bounded by the advertised window and byte limit.
+		if s.nextSeq-s.highestAck >= s.maxWindowSegs() {
+			return
+		}
+		if s.limitSegments > 0 && s.nextSeq >= s.limitSegments {
+			return
+		}
+		s.transmit(s.nextSeq, false)
+		s.nextSeq++
+	}
+}
+
+// nextLost scans for the next declared-lost segment that is not in flight
+// and not already sacked or acked.
+func (s *Sender) nextLost() (int64, bool) {
+	if s.rtxCursor < s.highestAck {
+		s.rtxCursor = s.highestAck
+	}
+	for ; s.rtxCursor < s.nextSeq; s.rtxCursor++ {
+		st, ok := s.segs[s.rtxCursor]
+		if !ok || st.sacked || !st.lost || st.inFlight > 0 {
+			continue
+		}
+		return s.rtxCursor, true
+	}
+	return 0, false
+}
+
+func (s *Sender) transmit(seq int64, isRetransmit bool) {
+	st := s.seg(seq)
+	st.inFlight++
+	s.pipe++
+	s.stats.SegmentsSent++
+	if isRetransmit {
+		st.rtx = true
+		st.lost = false // given another chance; RTO re-declares if needed
+		s.stats.Retransmits++
+		if s.timing && seq == s.timedSeq {
+			s.timing = false // Karn: never time a retransmitted segment
+		}
+	} else if !s.timing {
+		s.timing = true
+		s.timedSeq = seq
+		s.timedAt = s.eng.Now()
+	}
+	s.out.Send(&netem.Packet{
+		Flow: s.flow,
+		Kind: netem.KindData,
+		Size: s.cfg.MSS + s.cfg.HeaderBytes,
+		Seq:  seq,
+	})
+	if s.rtoTimer == nil || !s.rtoTimer.Pending() {
+		s.armRTO()
+	}
+}
+
+func (s *Sender) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+	}
+	d := s.rto * float64(int64(1)<<uint(s.backoff))
+	if d > s.cfg.MaxRTO {
+		d = s.cfg.MaxRTO
+	}
+	s.rtoTimer = s.eng.Schedule(d, s.onTimeout)
+}
+
+func (s *Sender) onTimeout() {
+	if s.stopped || s.nextSeq == s.highestAck {
+		return
+	}
+	s.stats.Timeouts++
+	s.stats.LossEvents++
+	half := s.cwnd / 2
+	if half < 2 {
+		half = 2
+	}
+	s.ssthresh = half
+	s.cwnd = 1
+	s.dupAcks = 0
+	s.inRecovery = false
+	s.backoff++
+	if s.backoff > 6 {
+		s.backoff = 6
+	}
+	s.timing = false
+	// Everything unsacked and outstanding is presumed lost; retransmission
+	// restarts from the left edge (go-back-N over the holes).
+	for seq := s.highestAck; seq < s.nextSeq; seq++ {
+		st, ok := s.segs[seq]
+		if !ok || st.sacked {
+			continue
+		}
+		if !st.lost || st.inFlight > 0 {
+			s.pipe -= int(st.inFlight)
+			st.inFlight = 0
+			st.lost = true
+		}
+	}
+	if s.pipe < 0 {
+		s.pipe = 0
+	}
+	s.rtxCursor = s.highestAck
+	s.lossScan = s.highestAck
+	s.transmit(s.highestAck, true)
+	s.armRTO()
+}
+
+func (s *Sender) recordRTT(rtt float64) {
+	s.stats.RTTSamples++
+	s.stats.rttSum += rtt
+	if s.stats.rttMin == 0 || rtt < s.stats.rttMin {
+		s.stats.rttMin = rtt
+	}
+	if rtt > s.stats.rttMax {
+		s.stats.rttMax = rtt
+	}
+	if s.stats.RTTSamples == 1 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		const alpha, beta = 1.0 / 8, 1.0 / 4
+		s.rttvar = (1-beta)*s.rttvar + beta*math.Abs(s.srtt-rtt)
+		s.srtt = (1-alpha)*s.srtt + alpha*rtt
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < s.cfg.MinRTO {
+		s.rto = s.cfg.MinRTO
+	}
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+}
+
+func (s *Sender) onAck(pkt *netem.Packet) {
+	if s.stopped || pkt.Kind != netem.KindAck {
+		return
+	}
+	s.stats.AcksReceived++
+	if !s.cfg.NoSACK {
+		if blocks, ok := pkt.Meta.([]Block); ok {
+			s.processSACK(blocks)
+		}
+	}
+	ack := pkt.Ack
+	switch {
+	case ack > s.highestAck:
+		s.onNewAck(ack)
+	case ack == s.highestAck:
+		s.onDupAck()
+	}
+	s.declareLosses()
+	s.maybeEnterRecovery()
+	s.trySend()
+}
+
+// processSACK merges the receiver-reported blocks into the scoreboard and
+// adjusts the pipe for newly sacked segments.
+func (s *Sender) processSACK(blocks []Block) {
+	for _, b := range blocks {
+		start, end := b.Start, b.End
+		if start < s.highestAck {
+			start = s.highestAck
+		}
+		if end > s.nextSeq {
+			end = s.nextSeq
+		}
+		if end <= start {
+			continue
+		}
+		for _, nb := range s.scoreboard.Subtract(start, end) {
+			for seq := nb.Start; seq < nb.End; seq++ {
+				st, ok := s.segs[seq]
+				if !ok || st.sacked {
+					continue
+				}
+				st.sacked = true
+				s.pipe -= int(st.inFlight)
+				st.inFlight = 0
+			}
+		}
+		s.scoreboard.Add(start, end)
+	}
+	if m := s.scoreboard.Max(); m > s.highSacked {
+		s.highSacked = m
+	}
+	if s.pipe < 0 {
+		s.pipe = 0
+	}
+}
+
+// declareLosses applies the FACK-style rule: an unsacked segment with the
+// highest sacked sequence more than dupThresh ahead is declared lost.
+func (s *Sender) declareLosses() {
+	if s.cfg.NoSACK || s.highSacked == 0 {
+		return
+	}
+	if s.lossScan < s.highestAck {
+		s.lossScan = s.highestAck
+	}
+	limit := s.highSacked - dupThresh
+	for ; s.lossScan < limit; s.lossScan++ {
+		st, ok := s.segs[s.lossScan]
+		if !ok || st.sacked || st.lost {
+			continue
+		}
+		if st.rtx && st.inFlight > 0 {
+			// An outstanding retransmission: leave it to the RTO.
+			continue
+		}
+		st.lost = true
+		s.pipe -= int(st.inFlight)
+		st.inFlight = 0
+		if s.pipe < 0 {
+			s.pipe = 0
+		}
+		if s.rtxCursor > s.lossScan {
+			s.rtxCursor = s.lossScan
+		}
+	}
+}
+
+// maybeEnterRecovery starts a loss-recovery episode (one congestion event)
+// when loss has been detected and none is in progress.
+func (s *Sender) maybeEnterRecovery() {
+	if s.inRecovery || s.stopped {
+		return
+	}
+	lossDetected := s.dupAcks >= dupThresh
+	if !s.cfg.NoSACK && s.highSacked-s.highestAck > dupThresh {
+		lossDetected = true
+	}
+	if !lossDetected {
+		return
+	}
+	s.stats.LossEvents++
+	s.stats.FastRetransmits++
+	s.inRecovery = true
+	s.recover = s.nextSeq
+	half := s.cwnd / 2
+	if half < 2 {
+		half = 2
+	}
+	s.ssthresh = half
+	s.cwnd = s.ssthresh
+	// The left edge is lost by definition of the trigger.
+	st := s.seg(s.highestAck)
+	if !st.sacked && !st.lost {
+		st.lost = true
+		s.pipe -= int(st.inFlight)
+		st.inFlight = 0
+		if s.pipe < 0 {
+			s.pipe = 0
+		}
+	}
+	if s.rtxCursor > s.highestAck {
+		s.rtxCursor = s.highestAck
+	}
+	if s.cfg.NoSACK {
+		// The dupThresh duplicate ACKs that triggered recovery each
+		// signalled a delivered post-hole segment.
+		s.vackCursor = s.highestAck + 1
+		for i := 0; i < dupThresh; i++ {
+			s.virtualDeliver()
+		}
+	}
+}
+
+// virtualDeliver retires the in-flight copy of the next outstanding
+// segment above the hole (NewReno mode, where no SACK information says
+// which segment a duplicate ACK stands for).
+func (s *Sender) virtualDeliver() {
+	if s.vackCursor <= s.highestAck {
+		s.vackCursor = s.highestAck + 1
+	}
+	for ; s.vackCursor < s.nextSeq; s.vackCursor++ {
+		st, ok := s.segs[s.vackCursor]
+		if !ok || st.inFlight == 0 {
+			continue
+		}
+		st.inFlight--
+		if s.pipe > 0 {
+			s.pipe--
+		}
+		s.vackCursor++
+		return
+	}
+}
+
+func (s *Sender) onNewAck(ack int64) {
+	s.backoff = 0
+	// Retire acked segments from the pipe and take the RTT sample.
+	for seq := s.highestAck; seq < ack; seq++ {
+		st, ok := s.segs[seq]
+		if !ok {
+			continue
+		}
+		if s.timing && seq == s.timedSeq {
+			if !st.rtx {
+				s.recordRTT(s.eng.Now() - s.timedAt)
+			}
+			s.timing = false
+		}
+		s.pipe -= int(st.inFlight)
+		delete(s.segs, seq)
+	}
+	if s.pipe < 0 {
+		s.pipe = 0
+	}
+	s.highestAck = ack
+	s.scoreboard.TrimBelow(ack)
+	if s.lossScan < ack {
+		s.lossScan = ack
+	}
+
+	if s.inRecovery {
+		if ack >= s.recover {
+			s.inRecovery = false
+			s.cwnd = s.ssthresh
+			s.dupAcks = 0
+		} else if s.cfg.NoSACK {
+			// NewReno partial ACK: the next hole is the segment at the new
+			// left edge; mark it lost so trySend retransmits it.
+			st := s.seg(ack)
+			if !st.lost && st.inFlight > 0 {
+				st.lost = true
+				s.pipe -= int(st.inFlight)
+				st.inFlight = 0
+				if s.pipe < 0 {
+					s.pipe = 0
+				}
+			}
+			if s.rtxCursor > ack {
+				s.rtxCursor = ack
+			}
+		}
+	} else {
+		s.dupAcks = 0
+		// Per-ACK window growth (RFC 2581, no byte counting): with
+		// delayed ACKs this is what the throughput formulas' b = 2
+		// models — slow start doubles every two RTTs, congestion
+		// avoidance adds half a segment per RTT.
+		if s.cwnd < s.ssthresh {
+			s.cwnd++
+			if s.cwnd > s.ssthresh && !math.IsInf(s.ssthresh, 1) {
+				s.cwnd = s.ssthresh
+			}
+		} else {
+			s.cwnd += 1 / s.cwnd
+		}
+	}
+
+	if s.nextSeq > s.highestAck {
+		s.armRTO()
+	} else if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+	}
+	s.finishAck()
+}
+
+func (s *Sender) finishAck() {
+	s.stats.BytesAcked = s.highestAck * int64(s.cfg.MSS)
+	if s.limitSegments > 0 && s.highestAck >= s.limitSegments {
+		s.stats.BytesAcked = s.limitSegments * int64(s.cfg.MSS)
+		if s.rtoTimer != nil {
+			s.rtoTimer.Cancel()
+		}
+		if s.done != nil {
+			done := s.done
+			s.done = nil
+			done()
+		}
+	}
+}
+
+func (s *Sender) onDupAck() {
+	if s.nextSeq == s.highestAck {
+		return
+	}
+	s.stats.DupAcks++
+	s.dupAcks++
+	if s.cfg.NoSACK && s.inRecovery {
+		// A dup ACK proves one more post-hole segment was delivered;
+		// retire its in-flight copy via the virtual-ACK cursor so the
+		// later cumulative ACK does not retire it a second time.
+		s.virtualDeliver()
+	}
+	if s.cfg.NoSACK && !s.inRecovery && s.dupAcks >= dupThresh {
+		// Loss of the left edge; maybeEnterRecovery (called by onAck)
+		// performs the actual state change.
+		st := s.seg(s.highestAck)
+		if st.inFlight > 0 {
+			st.lost = true
+			s.pipe -= int(st.inFlight)
+			st.inFlight = 0
+			if s.pipe < 0 {
+				s.pipe = 0
+			}
+		}
+	}
+}

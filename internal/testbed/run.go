@@ -1,0 +1,362 @@
+package testbed
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/availbw"
+	"repro/internal/iperf"
+	"repro/internal/netem"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+// Flow IDs used on every testbed path.
+const (
+	flowTransfer netem.FlowID = 1
+	flowProbe    netem.FlowID = 2
+	flowChirp    netem.FlowID = 3
+	flowSmall    netem.FlowID = 4
+	flowElastic0 netem.FlowID = 100
+	flowCross0   netem.FlowID = 200
+)
+
+// RunConfig controls a measurement campaign. Zero fields take the paper's
+// values via defaults().
+type RunConfig struct {
+	Seed           int64
+	Catalog        CatalogConfig
+	TracesPerPath  int     // paper: 7
+	EpochsPerTrace int     // paper: 150
+	PingDuration   float64 // paper: 60 s
+	TransferSec    float64 // paper: 50 s (120 s in the second set)
+	EpochGap       float64 // idle between epochs, seconds
+
+	LargeWindowBytes int // W of the target transfer (paper: 1 MB)
+	SmallWindowBytes int // W of the companion transfer (paper: 20 KB); 0 disables
+	SmallTransferSec float64
+
+	Checkpoints []float64 // prefix durations for Fig. 11 (e.g. 30, 60)
+
+	Pathload availbw.Config
+	Ping     probe.Config
+
+	Parallelism int // worker goroutines; 0 = GOMAXPROCS
+}
+
+func (c RunConfig) defaults() RunConfig {
+	if c.TracesPerPath == 0 {
+		c.TracesPerPath = 7
+	}
+	if c.EpochsPerTrace == 0 {
+		c.EpochsPerTrace = 150
+	}
+	if c.PingDuration == 0 {
+		c.PingDuration = 60
+	}
+	if c.TransferSec == 0 {
+		c.TransferSec = 50
+	}
+	if c.EpochGap == 0 {
+		c.EpochGap = 20
+	}
+	if c.LargeWindowBytes == 0 {
+		c.LargeWindowBytes = 1 << 20
+	}
+	if c.SmallTransferSec == 0 {
+		c.SmallTransferSec = c.TransferSec
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	// Horizon for load processes: a bit beyond the full trace duration.
+	perEpoch := 25 + c.PingDuration + c.TransferSec + c.EpochGap
+	if c.SmallWindowBytes > 0 {
+		perEpoch += c.SmallTransferSec + 2
+	}
+	if c.Catalog.Horizon == 0 {
+		c.Catalog.Horizon = perEpoch*float64(c.EpochsPerTrace) + 600
+	}
+	if c.Catalog.Seed == 0 {
+		c.Catalog.Seed = c.Seed + 7777
+	}
+	return c
+}
+
+// DefaultScaled returns a configuration sized to run a meaningful dataset
+// quickly: fewer, slower paths, shorter phases, fewer epochs.
+func DefaultScaled(seed int64) RunConfig {
+	return RunConfig{
+		Seed: seed,
+		Catalog: CatalogConfig{
+			Seed:      seed + 7777,
+			NumPaths:  12,
+			NumDSL:    3,
+			NumTrans:  2,
+			NumKorea:  1,
+			MinCapBps: 3e6,
+			MaxCapBps: 20e6,
+		},
+		TracesPerPath:    2,
+		EpochsPerTrace:   40,
+		PingDuration:     30,
+		TransferSec:      30,
+		EpochGap:         8,
+		SmallWindowBytes: 20 * 1024,
+		SmallTransferSec: 30,
+		Pathload: availbw.Config{
+			StreamLength:   80,
+			StreamsPerRate: 1,
+			MaxIterations:  10,
+		},
+	}
+}
+
+// PaperScale returns the paper's full-scale May-2004 configuration:
+// 35 paths × 7 traces × 150 epochs, 60 s ping, 50 s transfers, plus the
+// 20 KB window-limited transfer.
+func PaperScale(seed int64) RunConfig {
+	return RunConfig{
+		Seed:             seed,
+		Catalog:          CatalogConfig{Seed: seed + 7777},
+		SmallWindowBytes: 20 * 1024,
+	}
+}
+
+// SecondSet returns the Mar-2006-style configuration: 24 fresh paths, 120 s
+// transfers with 30/60 s checkpoints, no DSL except one, used for Fig. 11.
+func SecondSet(seed int64, scaled bool) RunConfig {
+	cfg := RunConfig{
+		Seed: seed,
+		Catalog: CatalogConfig{
+			Seed:     seed + 13579,
+			NumPaths: 24,
+			NumDSL:   1,
+			NumTrans: 0,
+			NumKorea: 0,
+		},
+		TransferSec: 120,
+		Checkpoints: []float64{30, 60},
+	}
+	if scaled {
+		cfg.Catalog.NumPaths = 6
+		cfg.Catalog.MinCapBps = 3e6
+		cfg.Catalog.MaxCapBps = 20e6
+		cfg.TracesPerPath = 1
+		cfg.EpochsPerTrace = 12
+		cfg.PingDuration = 30
+		cfg.TransferSec = 60
+		cfg.Checkpoints = []float64{15, 30}
+		cfg.EpochGap = 8
+		cfg.Pathload = availbw.Config{StreamLength: 80, StreamsPerRate: 1, MaxIterations: 10}
+	}
+	return cfg
+}
+
+// Collect runs the full campaign described by cfg and returns the dataset.
+// Traces run in parallel (each owns a private engine) and results are
+// assembled in deterministic order.
+func Collect(cfg RunConfig) *Dataset {
+	cfg = cfg.defaults()
+	paths := Catalog(cfg.Catalog)
+
+	type job struct{ pathIdx, traceIdx int }
+	jobs := make([]job, 0, len(paths)*cfg.TracesPerPath)
+	for p := range paths {
+		for t := 0; t < cfg.TracesPerPath; t++ {
+			jobs = append(jobs, job{p, t})
+		}
+	}
+	results := make([]Trace, len(jobs))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			pc := paths[j.pathIdx]
+			seed := cfg.Seed + int64(j.pathIdx)*10007 + int64(j.traceIdx)*101
+			results[i] = runTrace(cfg, pc, j.traceIdx, seed)
+		}()
+	}
+	wg.Wait()
+
+	return &Dataset{Label: fmt.Sprintf("seed%d", cfg.Seed), Traces: results}
+}
+
+// runTrace simulates one trace: builds a fresh engine, path and ambient
+// traffic, then executes EpochsPerTrace measurement epochs back-to-back.
+func runTrace(cfg RunConfig, pc PathConfig, traceIdx int, seed int64) Trace {
+	rng := sim.NewRNG(seed)
+	eng := sim.NewEngine()
+	path := netem.NewPath(eng, rng.Fork(), pc.Spec)
+	env := startAmbient(eng, rng, path, pc, cfg)
+
+	probe.NewResponder(path.B, flowProbe)
+	prober := probe.NewProber(eng, path.A, flowProbe, cfg.Ping)
+
+	// Let ambient traffic reach steady state before measuring.
+	eng.RunUntil(eng.Now() + 5)
+	prober.Start()
+
+	tr := Trace{Path: pc.Name, Class: string(pc.Class), Index: traceIdx}
+	for ep := 0; ep < cfg.EpochsPerTrace; ep++ {
+		rec := runEpoch(cfg, pc, eng, path, prober, env)
+		rec.Path = pc.Name
+		rec.Class = string(pc.Class)
+		rec.Trace = traceIdx
+		rec.Epoch = ep
+		tr.Records = append(tr.Records, rec)
+	}
+	prober.Stop()
+	env.stop()
+	return tr
+}
+
+// ambient bundles a trace's cross-traffic machinery.
+type ambient struct {
+	sources []netem.Source
+	elastic []*tcpsim.Connection
+	load    *netem.LoadProcess
+	openBps float64 // configured average open-loop rate at load 1.0
+}
+
+func (a *ambient) stop() {
+	for _, s := range a.sources {
+		s.Stop()
+	}
+	for _, c := range a.elastic {
+		c.Stop()
+	}
+}
+
+func startAmbient(eng *sim.Engine, rng *sim.RNG, path *netem.Path, pc PathConfig, cfg RunConfig) *ambient {
+	env := &ambient{}
+	bn := path.Bottleneck()
+	env.load = netem.GenerateLoad(rng.Fork(), pc.LoadCfg)
+	env.openBps = pc.BaseUtilization * bn.CapacityBps
+
+	if env.openBps > 0 {
+		paretoBps := env.openBps * pc.ParetoShare
+		poissonBps := env.openBps - paretoBps
+		if poissonBps > 0 {
+			src := netem.NewPoissonSource(eng, rng.Fork(), flowCross0, poissonBps, 1000, env.load, bn)
+			src.Start()
+			env.sources = append(env.sources, src)
+		}
+		if paretoBps > 0 {
+			// Several independent ON/OFF sources: the aggregate stays
+			// bursty at many timescales without one source being able to
+			// swamp the bottleneck single-handedly.
+			const nSrc = 3
+			meanOn, meanOff := 0.4, 0.6
+			for k := 0; k < nSrc; k++ {
+				share := paretoBps / nSrc
+				peak := share * (meanOn + meanOff) / meanOn
+				src := netem.NewParetoOnOffSource(eng, rng.Fork(), flowCross0+1+netem.FlowID(k), peak, 1000, meanOn, meanOff, 1.5, env.load, bn)
+				src.Start()
+				env.sources = append(env.sources, src)
+			}
+		}
+	}
+
+	for j := 0; j < pc.ElasticFlows; j++ {
+		extra := 0.0
+		if j < len(pc.ElasticRTTs) {
+			extra = pc.ElasticRTTs[j]
+		}
+		// Windows vary per flow so the elastic herd mixes small and large
+		// competitors. The RNG draw stays in the ambient stream so the
+		// trace remains reproducible.
+		win := (32 + rng.Intn(96)) * 1024
+		conn := tcpsim.DialWithExtraDelay(eng, path, flowElastic0+netem.FlowID(j), extra, tcpsim.Config{
+			MaxWindowBytes: win,
+			DelayedAck:     true,
+		})
+		// Stagger starts; some flows are active only for a window of the
+		// trace, creating natural level shifts in the throughput series.
+		startAt := rng.Uniform(0, 30)
+		eng.Schedule(startAt, conn.Sender.Start)
+		if rng.Bool(0.3) && pc.LoadCfg.Horizon > 0 {
+			stopAt := rng.Uniform(0.3, 0.9) * pc.LoadCfg.Horizon
+			eng.At(stopAt, conn.Sender.Stop)
+		}
+		env.elastic = append(env.elastic, conn)
+	}
+	return env
+}
+
+// runEpoch executes one Fig.-1 epoch and returns its record.
+func runEpoch(cfg RunConfig, pc PathConfig, eng *sim.Engine, path *netem.Path, prober *probe.Prober, env *ambient) EpochRecord {
+	rec := EpochRecord{StartTime: eng.Now()}
+	bn := path.Bottleneck()
+
+	// Phase 1: pathload.
+	est := availbw.NewEstimator(eng, path, flowChirp, cfg.Pathload)
+	abw := est.Estimate()
+	rec.AvailBw = abw.Estimate
+
+	// Phase 2: 60 s of ping → (T̂, p̂); also the ground-truth avail-bw
+	// window (bottleneck capacity minus non-probe arrivals).
+	prober.Window() // discard samples accumulated since the last epoch
+	statsBefore := bn.Stats()
+	tPingStart := eng.Now()
+	eng.RunUntil(eng.Now() + cfg.PingDuration)
+	pre := prober.Window()
+	rec.PreRTT = pre.MeanRTT
+	rec.PreLoss = pre.LossRate
+	statsAfter := bn.Stats()
+	dt := eng.Now() - tPingStart
+	if dt > 0 {
+		crossBits := float64(statsAfter.BytesIn-statsBefore.BytesIn) * 8
+		probeBits := float64(pre.Sent * 41 * 8)
+		avail := bn.CapacityBps - (crossBits-probeBits)/dt
+		if avail < 0 {
+			avail = 0
+		}
+		rec.AvailBwTrue = avail
+	}
+
+	// Phase 3: the target transfer, with probing continuing → (T̃, p̃).
+	rep := iperf.Run(eng, path, flowTransfer, iperf.Config{
+		Duration:    cfg.TransferSec,
+		TCP:         tcpsim.Config{MaxWindowBytes: cfg.LargeWindowBytes, DelayedAck: true},
+		Checkpoints: cfg.Checkpoints,
+	})
+	dur := prober.Window()
+	rec.DurRTT = dur.MeanRTT
+	rec.DurLoss = dur.LossRate
+	rec.Throughput = rep.ThroughputBps
+	rec.FlowRTT = rep.FlowRTT
+	rec.FlowLoss = rep.FlowLossRate
+	rec.FlowEventRate = rep.FlowEventRate
+	rec.Retransmits = rep.Retransmits
+	rec.Timeouts = rep.Timeouts
+	rec.LossEvents = rep.LossEvents
+	rec.SegmentsSent = rep.SegmentsSent
+	rec.Checkpoints = rep.Checkpoints
+
+	// Phase 4: the window-limited companion transfer.
+	if cfg.SmallWindowBytes > 0 {
+		small := iperf.Run(eng, path, flowSmall, iperf.Config{
+			Duration: cfg.SmallTransferSec,
+			TCP:      tcpsim.Config{MaxWindowBytes: cfg.SmallWindowBytes, DelayedAck: true},
+		})
+		rec.SmallThroughput = small.ThroughputBps
+		rec.SmallFlowLoss = small.FlowLossRate
+		rec.SmallWindowBytes = cfg.SmallWindowBytes
+		if rec.PreRTT > 0 {
+			rec.SmallWindowLimited = float64(cfg.SmallWindowBytes)*8/rec.PreRTT < rec.AvailBw
+		}
+	}
+
+	// Phase 5: idle gap to the next epoch.
+	eng.RunUntil(eng.Now() + cfg.EpochGap)
+	return rec
+}

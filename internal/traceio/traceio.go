@@ -1,0 +1,87 @@
+// Package traceio persists measurement datasets as gzip-compressed JSON,
+// so an expensive collection campaign can be reused across analysis runs
+// (cmd/ronsim writes, cmd/repro reads).
+package traceio
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/testbed"
+)
+
+// Save writes the dataset to path (creating parent directories), gzipped
+// when the file name ends in .gz.
+func Save(path string, ds *testbed.Dataset) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	defer f.Close()
+
+	if filepath.Ext(path) == ".gz" {
+		zw := gzip.NewWriter(f)
+		if err := json.NewEncoder(zw).Encode(ds); err != nil {
+			zw.Close()
+			return fmt.Errorf("traceio: encode %s: %w", path, err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("traceio: %w", err)
+		}
+	} else {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(ds); err != nil {
+			return fmt.Errorf("traceio: encode %s: %w", path, err)
+		}
+	}
+	return f.Close()
+}
+
+// Load reads a dataset written by Save.
+func Load(path string) (*testbed.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("traceio: %w", err)
+	}
+	defer f.Close()
+
+	var ds testbed.Dataset
+	if filepath.Ext(path) == ".gz" {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("traceio: %s: %w", path, err)
+		}
+		defer zr.Close()
+		if err := json.NewDecoder(zr).Decode(&ds); err != nil {
+			return nil, fmt.Errorf("traceio: decode %s: %w", path, err)
+		}
+	} else if err := json.NewDecoder(f).Decode(&ds); err != nil {
+		return nil, fmt.Errorf("traceio: decode %s: %w", path, err)
+	}
+	return &ds, nil
+}
+
+// LoadOrCollect loads the dataset at path if it exists; otherwise it
+// collects one with the given config and saves it to path (when path is
+// non-empty).
+func LoadOrCollect(path string, cfg testbed.RunConfig) (*testbed.Dataset, error) {
+	if path != "" {
+		if _, err := os.Stat(path); err == nil {
+			return Load(path)
+		}
+	}
+	ds := testbed.Collect(cfg)
+	if path != "" {
+		if err := Save(path, ds); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,218 @@
+// Package tcppred is the public facade of the reproduction of
+// "On the predictability of large transfer TCP throughput" (He, Dovrolis,
+// Ammar; SIGCOMM 2005 / Computer Networks 2007).
+//
+// It exposes the two predictor families the paper studies and the
+// simulated wide-area testbed used to evaluate them:
+//
+//   - Formula-Based (FB) prediction: NewFBPredictor applies the PFTK (or
+//     Mathis / revised-PFTK) TCP throughput model to a-priori path
+//     measurements — RTT and loss rate from periodic probing, and an
+//     available-bandwidth estimate for lossless paths (paper Eq. 3).
+//
+//   - History-Based (HB) prediction: NewMovingAverage, NewEWMA and
+//     NewHoltWinters forecast from previous transfer throughputs; WithLSO
+//     wraps any of them with the paper's level-shift restart and outlier
+//     removal heuristics.
+//
+// The measurement side (Measure, NewTestbedPath) lets applications collect
+// the inputs on simulated paths; testbed campaigns and the paper's full
+// figure set live in cmd/ronsim and cmd/repro.
+package tcppred
+
+import (
+	"fmt"
+
+	"repro/internal/availbw"
+	"repro/internal/iperf"
+	"repro/internal/netem"
+	"repro/internal/predict"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/tcpmodel"
+	"repro/internal/tcpsim"
+)
+
+// Model selects a TCP throughput formula for FB prediction.
+type Model = predict.Model
+
+// Supported formulas.
+const (
+	PFTK        = predict.ModelPFTK
+	PFTKPaper   = predict.ModelPFTKPaper
+	RevisedPFTK = predict.ModelRevisedPFTK
+	Mathis      = predict.ModelMathis
+)
+
+// FBInputs are the a-priori measurements consumed by an FB prediction:
+// RTT (seconds) and loss rate from periodic probing before the flow, and
+// an avail-bw estimate (bits/s) for the lossless branch.
+type FBInputs = predict.FBInputs
+
+// FBPredictor predicts bulk TCP throughput from path measurements using a
+// throughput formula (paper Eq. 3).
+type FBPredictor = predict.FB
+
+// FBConfig configures an FB predictor: formula, MSS, maximum window, and
+// the delayed-ACK factor b.
+type FBConfig = predict.FBConfig
+
+// NewFBPredictor returns a formula-based predictor.
+func NewFBPredictor(cfg FBConfig) *FBPredictor { return predict.NewFB(cfg) }
+
+// HBPredictor is a one-step-ahead throughput forecaster fed with the
+// observed throughput of successive transfers on one path.
+type HBPredictor = predict.HB
+
+// NewMovingAverage returns the n-order Moving Average predictor.
+func NewMovingAverage(n int) HBPredictor { return predict.NewMA(n) }
+
+// NewEWMA returns the exponentially weighted moving average predictor with
+// weight alpha in (0, 1).
+func NewEWMA(alpha float64) HBPredictor { return predict.NewEWMA(alpha) }
+
+// NewHoltWinters returns the non-seasonal Holt-Winters predictor; the
+// paper uses alpha = 0.8, beta = 0.2.
+func NewHoltWinters(alpha, beta float64) HBPredictor {
+	return predict.NewHoltWinters(alpha, beta)
+}
+
+// NewAR returns an autoregressive AR(p) predictor fitted online over a
+// sliding window (an extension in the direction of the paper's ARIMA
+// future work; window 0 picks a default).
+func NewAR(order, window int) HBPredictor { return predict.NewAR(order, window) }
+
+// Hybrid combines the FB formula with history: it learns the formula's
+// multiplicative bias on a path from observed transfers (paper §7 future
+// work). Use Predict with fresh measurements, then Observe the achieved
+// throughput.
+type Hybrid = predict.Hybrid
+
+// NewHybrid returns a hybrid FB×history predictor; alpha is the EWMA
+// weight of the learned bias (0 picks the default 0.5).
+func NewHybrid(cfg FBConfig, alpha float64) *Hybrid {
+	return predict.NewHybrid(cfg, alpha)
+}
+
+// ShortTransferThroughput predicts the average throughput (bits/s) of a
+// transfer of n bytes using the slow-start-aware latency model (Cardwell
+// et al.; paper §4.2.7), given a-priori RTT and loss rate. Use this
+// instead of an FBPredictor when the transfer is too short to neglect
+// slow start.
+func ShortTransferThroughput(n int64, rtt, lossRate float64, maxWindowBytes int) float64 {
+	if maxWindowBytes == 0 {
+		maxWindowBytes = 1 << 20
+	}
+	d := (n + 1459) / 1460
+	p := tcpmodel.ShortTransferParams{
+		Params: tcpmodel.Params{
+			MSS: 1460, RTT: rtt, Loss: lossRate, B: 2,
+			RTO:  predict.RTO(rtt),
+			Wmax: float64(maxWindowBytes) / 1460,
+		},
+	}
+	return tcpmodel.ShortTransferThroughput(p, d) * 8
+}
+
+// LSOConfig holds the level-shift (γ) and outlier (ψ) thresholds; the
+// paper's values are γ = 0.3, ψ = 0.4.
+type LSOConfig = predict.LSOConfig
+
+// WithLSO wraps an HB predictor with the paper's level-shift restart and
+// outlier removal heuristics (paper §5.2) using the default parameters.
+func WithLSO(inner HBPredictor) HBPredictor {
+	return predict.NewLSO(inner, predict.DefaultLSOConfig())
+}
+
+// WithLSOConfig is WithLSO with explicit thresholds.
+func WithLSOConfig(inner HBPredictor, cfg LSOConfig) HBPredictor {
+	return predict.NewLSO(inner, cfg)
+}
+
+// PathSpec describes a simulated bidirectional network path.
+type PathSpec = netem.PathSpec
+
+// Hop is one link of a PathSpec.
+type Hop = netem.Hop
+
+// Path is a live simulated path bound to a simulation Engine.
+type Path struct {
+	eng  *sim.Engine
+	path *netem.Path
+	next netem.FlowID
+}
+
+// NewTestbedPath instantiates spec on a fresh simulation engine, with an
+// optional Poisson cross-traffic load (fraction of the bottleneck
+// capacity) to make measurements non-trivial.
+func NewTestbedPath(spec PathSpec, crossLoad float64, seed int64) *Path {
+	rng := sim.NewRNG(seed)
+	eng := sim.NewEngine()
+	p := netem.NewPath(eng, rng.Fork(), spec)
+	if crossLoad > 0 {
+		bn := p.Bottleneck()
+		src := netem.NewPoissonSource(eng, rng.Fork(), 900, crossLoad*bn.CapacityBps, 1000, nil, bn)
+		src.Start()
+	}
+	probe.NewResponder(p.B, 2)
+	eng.RunUntil(2) // warm up cross traffic
+	return &Path{eng: eng, path: p, next: 10}
+}
+
+// Measurement bundles the a-priori quantities of paper Table 1 for a path.
+type Measurement struct {
+	RTT      float64 // T̂, seconds
+	LossRate float64 // p̂
+	AvailBw  float64 // Â, bits/s
+}
+
+// FBInputs converts the measurement for use with an FBPredictor.
+func (m Measurement) FBInputs() FBInputs {
+	return FBInputs{RTT: m.RTT, LossRate: m.LossRate, AvailBw: m.AvailBw}
+}
+
+// Measure performs the paper's pre-transfer measurement on the path: a
+// pathload-style avail-bw estimate followed by pingDuration seconds of
+// periodic probing.
+func (p *Path) Measure(pingDuration float64) Measurement {
+	est := availbw.NewEstimator(p.eng, p.path, 3, availbw.Config{
+		StreamLength: 80, StreamsPerRate: 1, MaxIterations: 10,
+	})
+	abw := est.Estimate()
+	res := probe.Measure(p.eng, p.path.A, 2, probe.Config{}, pingDuration)
+	return Measurement{RTT: res.MeanRTT, LossRate: res.LossRate, AvailBw: abw.Estimate}
+}
+
+// Transfer runs a bulk TCP transfer of the given duration and maximum
+// window and returns the achieved throughput in bits per second.
+func (p *Path) Transfer(duration float64, maxWindowBytes int) float64 {
+	p.next++
+	rep := iperf.Run(p.eng, p.path, p.next, iperf.Config{
+		Duration: duration,
+		TCP:      tcpsim.Config{MaxWindowBytes: maxWindowBytes, DelayedAck: true},
+	})
+	return rep.ThroughputBps
+}
+
+// TransferBytes transfers exactly n bytes and returns the throughput in
+// bits per second and the transfer duration in (virtual) seconds.
+func (p *Path) TransferBytes(n int64, maxWindowBytes int) (bps, seconds float64) {
+	p.next++
+	rep := iperf.RunBytes(p.eng, p.path, p.next, n, 3600, tcpsim.Config{
+		MaxWindowBytes: maxWindowBytes, DelayedAck: true,
+	})
+	return rep.ThroughputBps, rep.Duration
+}
+
+// Now returns the path's virtual clock (seconds).
+func (p *Path) Now() float64 { return p.eng.Now() }
+
+// Wait advances virtual time by d seconds (ambient traffic keeps flowing).
+func (p *Path) Wait(d float64) { p.eng.RunUntil(p.eng.Now() + d) }
+
+// String describes the path.
+func (p *Path) String() string {
+	bn := p.path.Bottleneck()
+	return fmt.Sprintf("path %s: bottleneck %.1f Mbps, base RTT %.1f ms",
+		p.path.Name, bn.CapacityBps/1e6, p.path.BaseRTT(1500)*1e3)
+}
