@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is what CI runs; `make test` is the
+# full (slow) suite including the multi-second campaign tests.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check:
+	./scripts/check.sh
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

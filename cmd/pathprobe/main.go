@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/availbw"
 	"repro/internal/iperf"
@@ -33,6 +34,7 @@ func main() {
 	window := flag.Int("window", 1<<20, "iperf maximum window, bytes")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	reorder := flag.Float64("reorder", 0, "per-packet reordering probability at the bottleneck")
+	stats := flag.Bool("stats", true, "print per-tool engine statistics (events, event rate, speedup)")
 	flag.Parse()
 
 	eng := sim.NewEngine()
@@ -62,28 +64,60 @@ func main() {
 	fmt.Printf("path: %.1f Mbps bottleneck, %.0f ms base RTT, load %.0f%%\n",
 		capBps/1e6, path.BaseRTT(1500)*1e3, *load*100)
 
+	// metered runs one tool and reports its segment of the simulation:
+	// events processed, wall-clock event rate, and virtual-vs-real
+	// speedup, via the engine's per-segment counters.
+	metered := func(name string, run func()) {
+		mark := eng.Processed()
+		v0 := eng.Now()
+		t0 := time.Now()
+		run()
+		if !*stats {
+			return
+		}
+		wall := time.Since(t0).Seconds()
+		events := eng.ProcessedSince(mark)
+		line := fmt.Sprintf("  [%s: %d events", name, events)
+		if wall > 0 {
+			line += fmt.Sprintf(", %.3g ev/s", float64(events)/wall)
+			if virt := eng.Now() - v0; virt > 0 {
+				line += fmt.Sprintf(", %.0fx real time", virt/wall)
+			}
+		}
+		fmt.Println(line + "]")
+	}
+
 	runPing := func(d float64) probe.Result {
-		res := probe.Measure(eng, path.A, 2, probe.Config{}, d)
+		var res probe.Result
+		metered("ping", func() {
+			res = probe.Measure(eng, path.A, 2, probe.Config{}, d)
+			fmt.Printf("ping (%gs, 100ms period, 41B): RTT mean %.1f ms [%.1f, %.1f], loss %.4f (%d probes)\n",
+				d, res.MeanRTT*1e3, res.MinRTT*1e3, res.MaxRTT*1e3, res.LossRate, res.Sent)
+		})
 		probe.NewResponder(path.B, 2) // Measure deregisters; re-arm for later tools
-		fmt.Printf("ping (%gs, 100ms period, 41B): RTT mean %.1f ms [%.1f, %.1f], loss %.4f (%d probes)\n",
-			d, res.MeanRTT*1e3, res.MinRTT*1e3, res.MaxRTT*1e3, res.LossRate, res.Sent)
 		return res
 	}
 	runPathload := func() availbw.Result {
-		est := availbw.NewEstimator(eng, path, 3, availbw.Config{})
-		res := est.Estimate()
-		fmt.Printf("pathload: avail-bw %.2f Mbps [%.2f, %.2f] (%d streams, %.1f s)\n",
-			res.Estimate/1e6, res.Lo/1e6, res.Hi/1e6, res.Streams, res.Duration)
+		var res availbw.Result
+		metered("pathload", func() {
+			est := availbw.NewEstimator(eng, path, 3, availbw.Config{})
+			res = est.Estimate()
+			fmt.Printf("pathload: avail-bw %.2f Mbps [%.2f, %.2f] (%d streams, %.1f s)\n",
+				res.Estimate/1e6, res.Lo/1e6, res.Hi/1e6, res.Streams, res.Duration)
+		})
 		return res
 	}
 	runIperf := func(d float64) iperf.Report {
-		rep := iperf.Run(eng, path, 7, iperf.Config{
-			Duration: d,
-			TCP:      tcpsim.Config{MaxWindowBytes: *window, DelayedAck: true},
+		var rep iperf.Report
+		metered("iperf", func() {
+			rep = iperf.Run(eng, path, 7, iperf.Config{
+				Duration: d,
+				TCP:      tcpsim.Config{MaxWindowBytes: *window, DelayedAck: true},
+			})
+			fmt.Printf("iperf (%gs, W=%dKB): %.2f Mbps | flow RTT %.1f ms, p=%.4f, p'=%.5f, %d rtx, %d timeouts\n",
+				d, *window/1024, rep.ThroughputBps/1e6, rep.FlowRTT*1e3,
+				rep.FlowLossRate, rep.FlowEventRate, rep.Retransmits, rep.Timeouts)
 		})
-		fmt.Printf("iperf (%gs, W=%dKB): %.2f Mbps | flow RTT %.1f ms, p=%.4f, p'=%.5f, %d rtx, %d timeouts\n",
-			d, *window/1024, rep.ThroughputBps/1e6, rep.FlowRTT*1e3,
-			rep.FlowLossRate, rep.FlowEventRate, rep.Retransmits, rep.Timeouts)
 		return rep
 	}
 

@@ -5,17 +5,25 @@
 // Usage:
 //
 //	repro [-d1 data/d1-seed1.json.gz] [-d2 data/d2-seed1.json.gz]
-//	      [-seed 1] [-only fig2,fig19] [-full]
+//	      [-seed 1] [-only fig2,fig19] [-full] [-progress bar|jsonl|off]
+//
+// On-the-fly collection runs on the campaign runner with live progress on
+// stderr (-progress=jsonl for machine-readable JSON lines); Ctrl-C aborts
+// collection cleanly without writing a partial dataset file.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/testbed"
 	"repro/internal/traceio"
@@ -31,7 +39,22 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. fig2,fig19)")
 	full := flag.Bool("full", false, "collect at the paper's full scale when datasets are absent")
 	csvDir := flag.String("csv", "", "also export each experiment's tables/series as CSV into this directory")
+	progress := flag.String("progress", "bar", "collection progress: bar | jsonl | off")
 	flag.Parse()
+
+	var obs campaign.Observer
+	switch *progress {
+	case "bar":
+		obs = campaign.NewProgress(os.Stderr)
+	case "jsonl":
+		obs = campaign.NewJSONL(os.Stderr)
+	case "off", "none", "":
+	default:
+		log.Fatalf("unknown -progress mode %q (want bar, jsonl or off)", *progress)
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *d1Path == "" {
 		*d1Path = fmt.Sprintf("data/d1-seed%d.json.gz", *seed)
@@ -46,6 +69,8 @@ func main() {
 		cfg1 = testbed.PaperScale(*seed)
 		cfg2 = testbed.SecondSet(*seed, false)
 	}
+	cfg1.Observer = obs
+	cfg2.Observer = obs
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -56,7 +81,7 @@ func main() {
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
 
 	start := time.Now()
-	ds1, err := traceio.LoadOrCollect(*d1Path, cfg1)
+	ds1, err := traceio.LoadOrCollectContext(ctx, *d1Path, cfg1)
 	if err != nil {
 		log.Fatalf("dataset 1: %v", err)
 	}
@@ -86,7 +111,7 @@ func main() {
 
 	if selected("fig11") {
 		start = time.Now()
-		ds2, err := traceio.LoadOrCollect(*d2Path, cfg2)
+		ds2, err := traceio.LoadOrCollectContext(ctx, *d2Path, cfg2)
 		if err != nil {
 			log.Fatalf("dataset 2: %v", err)
 		}

@@ -4,19 +4,32 @@
 // Usage:
 //
 //	ronsim [-out data/d1.json.gz] [-seed 1] [-full] [-second]
+//	       [-workers N] [-progress bar|jsonl|off] [-retries N]
 //
 // By default a scaled-down campaign runs (12 paths × 2 traces × 40 epochs);
 // -full restores the paper's 35 × 7 × 150 scale (slow). -second collects
 // the Mar-2006-style second dataset with 120 s checkpointed transfers.
+//
+// Collection runs on the campaign runner: live progress (trace counts,
+// epoch rate, ETA) goes to stderr, -progress=jsonl emits machine-readable
+// JSON lines instead, and a trace that faults is retried with the same
+// seed rather than aborting the campaign. Interrupting with Ctrl-C stops
+// at the next epoch boundaries and saves the completed traces as a
+// partial dataset.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/testbed"
 	"repro/internal/traceio"
 )
@@ -30,6 +43,8 @@ func main() {
 	full := flag.Bool("full", false, "run at the paper's full scale (35x7x150; slow)")
 	second := flag.Bool("second", false, "collect the second (120s-transfer) dataset for Fig 11")
 	workers := flag.Int("workers", 0, "parallel trace workers (0 = GOMAXPROCS)")
+	progress := flag.String("progress", "bar", "progress reporting: bar | jsonl | off")
+	retries := flag.Int("retries", 1, "retries per faulted trace (same seed); negative disables")
 	flag.Parse()
 
 	var cfg testbed.RunConfig
@@ -44,17 +59,63 @@ func main() {
 		cfg = testbed.DefaultScaled(*seed)
 	}
 	cfg.Parallelism = *workers
+	cfg.Retries = *retries
 	if *out == "" {
 		*out = fmt.Sprintf("data/%s-seed%d.json.gz", name, *seed)
 	}
 
+	obs, err := observerFor(*progress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Observer = obs
+
+	// Ctrl-C / SIGTERM cancels the campaign; traces abort at their next
+	// epoch boundary and whatever completed is still saved below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	ds := testbed.Collect(cfg)
+	ds, err := testbed.CollectContext(ctx, cfg)
+	partial := false
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			partial = true
+			log.Printf("interrupted; keeping %d completed traces", len(ds.Traces))
+		} else {
+			// Trace faults: the campaign carried on without them.
+			log.Printf("completed with failed traces: %v", err)
+		}
+	}
 	log.Printf("collected %d traces / %d epochs in %v", len(ds.Traces), ds.Epochs(), time.Since(start).Round(time.Second))
 
+	if len(ds.Traces) == 0 {
+		log.Print("nothing to save")
+		os.Exit(1)
+	}
+	if partial {
+		ds.Label += "-partial"
+	}
 	if err := traceio.Save(*out, ds); err != nil {
 		log.Printf("save: %v", err)
 		os.Exit(1)
 	}
 	log.Printf("wrote %s", *out)
+	if partial {
+		os.Exit(1)
+	}
+}
+
+// observerFor maps the -progress flag to a campaign observer.
+func observerFor(mode string) (campaign.Observer, error) {
+	switch mode {
+	case "bar":
+		return campaign.NewProgress(os.Stderr), nil
+	case "jsonl":
+		return campaign.NewJSONL(os.Stderr), nil
+	case "off", "none", "":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown -progress mode %q (want bar, jsonl or off)", mode)
+	}
 }

@@ -1,0 +1,250 @@
+// Package campaign is the execution layer for measurement campaigns: it
+// schedules independent trace jobs onto a bounded worker pool, plumbs
+// context cancellation through them, isolates per-job faults (a panic in
+// one job's simulation engine fails only that job, optionally retried with
+// the same seed), and surfaces progress through an Observer.
+//
+// The package is deliberately generic — it knows about jobs, seeds and
+// epochs, not about datasets — so the testbed layer builds on it without
+// an import cycle, and future backends (sharded campaigns, remote
+// collection) can reuse the same scheduling and observability machinery.
+//
+// Determinism contract: results are assembled by job index, never by
+// completion order, so for jobs that are themselves deterministic in
+// (Job, seed) the output is byte-identical regardless of Parallelism.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job identifies one schedulable unit of a campaign — typically one trace
+// on one path. Index is the job's slot in the result slice; Seed is the
+// job's private RNG seed (retries reuse it, so a retried job replays the
+// exact same simulation).
+type Job struct {
+	Index  int    // position in the campaign's job list and result slice
+	Path   string // path name, for labelling and observers
+	Trace  int    // trace index on the path
+	Seed   int64  // private seed; identical across retries
+	Epochs int    // expected epochs, for progress/ETA (0 if unknown)
+}
+
+func (j Job) String() string { return fmt.Sprintf("%s#%d", j.Path, j.Trace) }
+
+// PanicError is the error a recovered job panic is converted into.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// JobError describes one failed job with its identity attached, so a
+// campaign report can say exactly which path/trace/seed to replay.
+type JobError struct {
+	Job      Job
+	Attempts int // how many times the job was tried
+	Err      error
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("campaign: job %s (seed %d, attempt %d): %v", e.Job, e.Job.Seed, e.Attempts, e.Err)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Result is the outcome of one job. Value is meaningful only when Err is
+// nil. Skipped jobs (campaign cancelled before they started) carry the
+// context's error and zero Attempts.
+type Result[T any] struct {
+	Job      Job
+	Value    T
+	Err      error
+	Attempts int
+	Wall     time.Duration // wall-clock time spent across all attempts
+	Events   uint64        // simulation events reported via Reporter.Epoch
+	VirtualS float64       // virtual seconds reported via Reporter.Epoch
+}
+
+// Func executes one job. It must honour ctx (abort between epochs and
+// return ctx.Err()) and report per-epoch progress through rep. The same
+// function may run concurrently for different jobs; each invocation must
+// keep its state private (one simulation engine per job).
+type Func[T any] func(ctx context.Context, job Job, rep *Reporter) (T, error)
+
+// Runner executes a campaign's jobs on a worker pool.
+type Runner[T any] struct {
+	// Parallelism is the number of concurrent workers; <= 0 means
+	// GOMAXPROCS.
+	Parallelism int
+
+	// Retries is how many times a failed job is re-run (with the same
+	// seed) before its error is recorded. Context errors are never
+	// retried.
+	Retries int
+
+	// Observer receives lifecycle and progress callbacks. Nil means no
+	// observation. Callbacks may fire concurrently from worker
+	// goroutines; the observers in this package serialize internally.
+	Observer Observer
+}
+
+// Run executes all jobs and returns one Result per job, in job order
+// (not completion order). Individual job failures do not fail the run;
+// they are recorded in their Result and reported to the Observer. The
+// returned error is non-nil only when ctx was cancelled or its deadline
+// exceeded, in which case results for already-completed jobs are still
+// returned (partial-campaign semantics).
+func (r *Runner[T]) Run(ctx context.Context, jobs []Job, fn Func[T]) ([]Result[T], error) {
+	workers := r.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	obs := r.Observer
+	if obs == nil {
+		obs = NopObserver{}
+	}
+
+	totalEpochs := 0
+	for _, j := range jobs {
+		totalEpochs += j.Epochs
+	}
+	obs.CampaignStarted(len(jobs), totalEpochs)
+
+	results := make([]Result[T], len(jobs))
+	feed := make(chan int)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range feed {
+				results[idx] = r.runJob(ctx, jobs[idx], fn, obs)
+			}
+		}()
+	}
+
+dispatch:
+	for i := range jobs {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	// Jobs never dispatched (or aborted before their first attempt)
+	// carry the context error so callers can tell them apart from
+	// completed work.
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Attempts == 0 && results[i].Err == nil {
+				results[i] = Result[T]{Job: jobs[i], Err: err}
+			}
+		}
+	}
+
+	sum := Summary{Jobs: len(jobs), Wall: time.Since(start)}
+	for _, res := range results {
+		switch {
+		case res.Attempts == 0:
+			sum.Skipped++
+		case res.Err != nil:
+			sum.Failed++
+		default:
+			sum.Completed++
+		}
+		if res.Attempts > 1 {
+			sum.Retried++
+		}
+		sum.Events += res.Events
+		sum.VirtualS += res.VirtualS
+	}
+	obs.CampaignFinished(sum)
+	return results, ctx.Err()
+}
+
+// runJob executes one job with panic isolation and retries.
+func (r *Runner[T]) runJob(ctx context.Context, job Job, fn Func[T], obs Observer) Result[T] {
+	res := Result[T]{Job: job}
+	start := time.Now()
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			// Keep Attempts at the tried count: 0 means "never started".
+			res.Err = err
+			break
+		}
+		res.Attempts = attempt
+		obs.TraceStarted(job, attempt)
+		rep := &Reporter{obs: obs, job: job}
+		val, err := protect(ctx, job, rep, fn)
+		res.Value, res.Err = val, err
+		res.Events += rep.events
+		if rep.virtual > res.VirtualS {
+			res.VirtualS = rep.virtual
+		}
+		obs.TraceFinished(job, err, attempt, time.Since(start))
+		if err == nil || attempt > r.Retries || isContextErr(err) || ctx.Err() != nil {
+			break
+		}
+	}
+	res.Wall = time.Since(start)
+	if res.Err != nil && res.Attempts > 0 && !isContextErr(res.Err) {
+		if _, ok := res.Err.(*JobError); !ok {
+			res.Err = &JobError{Job: job, Attempts: res.Attempts, Err: res.Err}
+		}
+	}
+	return res
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// protect runs fn converting a panic into a *PanicError, so one trace
+// blowing up inside its simulation engine cannot take the process down.
+func protect[T any](ctx context.Context, job Job, rep *Reporter, fn Func[T]) (val T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Value: p, Stack: buf}
+		}
+	}()
+	return fn(ctx, job, rep)
+}
+
+// Reporter is the per-job handle through which a running job reports
+// progress. It is created by the Runner; methods are safe to call from
+// the job's goroutine only.
+type Reporter struct {
+	obs     Observer
+	job     Job
+	events  uint64
+	virtual float64
+}
+
+// Epoch reports that one measurement epoch finished: its index, the
+// engine's virtual clock, and the number of simulation events the epoch
+// processed (a per-segment delta, not a cumulative count).
+func (r *Reporter) Epoch(epoch int, virtualTime float64, events uint64) {
+	if r == nil {
+		return
+	}
+	r.events += events
+	r.virtual = virtualTime
+	r.obs.EpochDone(r.job, epoch, virtualTime, events)
+}

@@ -1,0 +1,126 @@
+// Determinism and cancellation tests for the campaign runner driving the
+// real testbed. This is an external test package, so it may depend on
+// testbed (which itself builds on campaign) without an import cycle.
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/testbed"
+)
+
+// shrunkDefaultScaled is DefaultScaled cut down to a few seconds of wall
+// time while keeping its shape: multiple paths, classes, and traces per
+// path, so parallel scheduling has real interleaving to get wrong.
+func shrunkDefaultScaled(seed int64) testbed.RunConfig {
+	cfg := testbed.DefaultScaled(seed)
+	cfg.Catalog.NumPaths = 4
+	cfg.Catalog.NumDSL = 1
+	cfg.Catalog.NumTrans = 1
+	cfg.Catalog.NumKorea = 0
+	cfg.TracesPerPath = 2
+	cfg.EpochsPerTrace = 3
+	cfg.PingDuration = 8
+	cfg.TransferSec = 6
+	cfg.EpochGap = 2
+	cfg.SmallTransferSec = 4
+	return cfg
+}
+
+// TestRunDeterministicAcrossParallelism: byte-identical datasets whether
+// traces run serially or eight wide.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign; skipped in -short mode")
+	}
+	serial := shrunkDefaultScaled(3)
+	serial.Parallelism = 1
+	wide := shrunkDefaultScaled(3)
+	wide.Parallelism = 8
+
+	a, err := testbed.CollectContext(context.Background(), serial)
+	if err != nil {
+		t.Fatalf("serial campaign: %v", err)
+	}
+	b, err := testbed.CollectContext(context.Background(), wide)
+	if err != nil {
+		t.Fatalf("parallel campaign: %v", err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("datasets differ between Parallelism 1 and 8: %d vs %d traces", len(a.Traces), len(b.Traces))
+	}
+	if len(a.Traces) != 4*2 {
+		t.Fatalf("campaign produced %d traces, want 8", len(a.Traces))
+	}
+}
+
+// cancelAfterEpochs cancels the campaign once it has seen n epoch events.
+type cancelAfterEpochs struct {
+	campaign.NopObserver
+	mu     sync.Mutex
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterEpochs) EpochDone(job campaign.Job, epoch int, vt float64, events uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+	if c.n == 0 {
+		c.cancel()
+	}
+}
+
+// TestRunCancellationPartialDataset cancels mid-campaign and checks the
+// contract: completed traces survive, the in-flight trace is dropped at
+// an epoch boundary, and the error is ctx.Err().
+func TestRunCancellationPartialDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign; skipped in -short mode")
+	}
+	cfg := shrunkDefaultScaled(5)
+	cfg.Parallelism = 1
+	obs := &cancelAfterEpochs{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel partway through the second trace (epochs are 3 per trace).
+	obs.n = cfg.EpochsPerTrace + 1
+	obs.cancel = cancel
+	cfg.Observer = obs
+
+	ds, err := testbed.CollectContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(ds.Traces) != 1 {
+		t.Fatalf("partial dataset has %d traces, want 1", len(ds.Traces))
+	}
+	if got := len(ds.Traces[0].Records); got != cfg.EpochsPerTrace {
+		t.Errorf("completed trace has %d records, want %d", got, cfg.EpochsPerTrace)
+	}
+}
+
+// TestRunDeadline: a context deadline aborts the campaign and still
+// returns whatever completed, with context.DeadlineExceeded.
+func TestRunDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign; skipped in -short mode")
+	}
+	cfg := shrunkDefaultScaled(7)
+	cfg.EpochsPerTrace = 40 // long enough that the deadline always wins
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := testbed.CollectContext(ctx, cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 // Timer is a handle to a scheduled event. It can be cancelled before it
 // fires; cancelling an already-fired or already-cancelled timer is a no-op.
 type Timer struct {
+	eng      *Engine
 	at       float64
 	seq      uint64
 	fn       func()
@@ -26,12 +27,16 @@ type Timer struct {
 func (t *Timer) Time() float64 { return t.at }
 
 // Cancel prevents the timer from firing. It reports whether the timer was
-// still pending (and is now cancelled).
+// still pending (and is now cancelled). Cancelled timers stay in the
+// event heap until popped or compacted; the engine tracks them so that
+// Pending stays exact and the heap cannot fill up with dead entries.
 func (t *Timer) Cancel() bool {
 	if t.canceled || t.index < 0 {
 		return false
 	}
 	t.canceled = true
+	t.eng.canceled++
+	t.eng.maybeCompact()
 	return true
 }
 
@@ -78,6 +83,7 @@ type Engine struct {
 	seq       uint64
 	events    eventHeap
 	processed uint64
+	canceled  int // cancelled timers still sitting in the heap
 	stopped   bool
 }
 
@@ -92,9 +98,15 @@ func (e *Engine) Now() float64 { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled timers that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.events) }
+// ProcessedSince returns the number of events executed since mark, where
+// mark is a value previously returned by Processed. It lets callers meter
+// individual run segments (one epoch, one transfer) without the engine
+// having to know about segment boundaries.
+func (e *Engine) ProcessedSince(mark uint64) uint64 { return e.processed - mark }
+
+// Pending returns the number of live events currently scheduled.
+// Cancelled timers awaiting removal from the heap are not counted.
+func (e *Engine) Pending() int { return len(e.events) - e.canceled }
 
 // Schedule runs fn after delay seconds of virtual time. A negative delay is
 // treated as zero. It returns a Timer that may be cancelled.
@@ -115,7 +127,7 @@ func (e *Engine) At(t float64, fn func()) *Timer {
 		panic("sim: nil event function")
 	}
 	e.seq++
-	tm := &Timer{at: t, seq: e.seq, fn: fn, index: -1}
+	tm := &Timer{eng: e, at: t, seq: e.seq, fn: fn, index: -1}
 	heap.Push(&e.events, tm)
 	return tm
 }
@@ -126,6 +138,7 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		tm := heap.Pop(&e.events).(*Timer)
 		if tm.canceled {
+			e.canceled--
 			continue
 		}
 		e.now = tm.at
@@ -173,6 +186,34 @@ func (e *Engine) peek() *Timer {
 			return e.events[0]
 		}
 		heap.Pop(&e.events)
+		e.canceled--
 	}
 	return nil
+}
+
+// maybeCompact rebuilds the event heap without cancelled timers once they
+// dominate it, keeping heap operations O(log live) even for workloads
+// that cancel timers far faster than they fire them (e.g. a TCP sender
+// re-arming its RTO on every ACK).
+func (e *Engine) maybeCompact() {
+	if e.canceled < 64 || e.canceled*2 < len(e.events) {
+		return
+	}
+	live := e.events[:0]
+	for _, tm := range e.events {
+		if tm.canceled {
+			tm.index = -1
+			continue
+		}
+		live = append(live, tm)
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	for i, tm := range e.events {
+		tm.index = i
+	}
+	heap.Init(&e.events)
+	e.canceled = 0
 }

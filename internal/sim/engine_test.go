@@ -153,6 +153,121 @@ func TestStop(t *testing.T) {
 	}
 }
 
+func TestPendingSkipsCancelled(t *testing.T) {
+	eng := NewEngine()
+	var timers []*Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, eng.Schedule(float64(i+1), func() {}))
+	}
+	if eng.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", eng.Pending())
+	}
+	for _, tm := range timers[:4] {
+		tm.Cancel()
+	}
+	if eng.Pending() != 6 {
+		t.Errorf("Pending = %d after 4 cancels, want 6", eng.Pending())
+	}
+	eng.RunUntil(5) // fires timers 5 (others cancelled), pops some cancelled ones
+	if eng.Pending() != 5 {
+		t.Errorf("Pending = %d after RunUntil(5), want 5", eng.Pending())
+	}
+	eng.Run()
+	if eng.Pending() != 0 {
+		t.Errorf("Pending = %d after Run, want 0", eng.Pending())
+	}
+}
+
+// TestHeapCompaction cancels far more timers than it fires — the RTO
+// re-arm pattern — and checks the heap sheds the dead entries while the
+// surviving timers still fire in order.
+func TestHeapCompaction(t *testing.T) {
+	eng := NewEngine()
+	var fired []float64
+	var cancelled []*Timer
+	const n = 1000
+	for i := 0; i < n; i++ {
+		at := float64(i + 1)
+		if i%10 == 0 {
+			eng.At(at, func() { fired = append(fired, at) })
+			continue
+		}
+		cancelled = append(cancelled, eng.At(at, func() { t.Errorf("cancelled timer at %v fired", at) }))
+	}
+	for _, tm := range cancelled {
+		tm.Cancel()
+	}
+	// Compaction must have dropped the dead entries from the heap.
+	if got := len(eng.events); got > n/5 {
+		t.Errorf("heap holds %d entries after mass cancel, want ≤ %d", got, n/5)
+	}
+	if eng.Pending() != n/10 {
+		t.Errorf("Pending = %d, want %d", eng.Pending(), n/10)
+	}
+	eng.Run()
+	if len(fired) != n/10 {
+		t.Fatalf("fired %d events, want %d", len(fired), n/10)
+	}
+	if !sort.Float64sAreSorted(fired) {
+		t.Errorf("post-compaction events fired out of order")
+	}
+}
+
+// TestCompactionPreservesFIFO checks that compaction keeps the
+// same-instant FIFO guarantee the engine's determinism rests on.
+func TestCompactionPreservesFIFO(t *testing.T) {
+	eng := NewEngine()
+	var fired []int
+	var cancelled []*Timer
+	for i := 0; i < 200; i++ {
+		i := i
+		eng.At(5, func() { fired = append(fired, i) })
+		cancelled = append(cancelled, eng.At(1, func() {}))
+	}
+	for _, tm := range cancelled {
+		tm.Cancel()
+	}
+	eng.Run()
+	if len(fired) != 200 {
+		t.Fatalf("fired %d, want 200", len(fired))
+	}
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("same-time events not FIFO after compaction: fired[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestCancelledTimerNotPendingAfterPop(t *testing.T) {
+	eng := NewEngine()
+	tm := eng.Schedule(1, func() {})
+	eng.Schedule(2, func() {})
+	tm.Cancel()
+	eng.Run()
+	if tm.Pending() {
+		t.Error("cancelled timer still reports pending after run")
+	}
+	if tm.Cancel() {
+		t.Error("re-cancel of dead timer reported true")
+	}
+}
+
+func TestProcessedSince(t *testing.T) {
+	eng := NewEngine()
+	for i := 0; i < 5; i++ {
+		eng.Schedule(float64(i), func() {})
+	}
+	eng.RunUntil(2)
+	mark := eng.Processed()
+	if n := eng.ProcessedSince(mark); n != 0 {
+		t.Errorf("ProcessedSince(now) = %d, want 0", n)
+	}
+	eng.Run()
+	if n := eng.ProcessedSince(mark); n != 2 {
+		t.Errorf("ProcessedSince = %d, want 2", n)
+	}
+}
+
 func TestProcessedCount(t *testing.T) {
 	eng := NewEngine()
 	for i := 0; i < 7; i++ {
@@ -263,5 +378,26 @@ func TestUniformRange(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestDeriveSeedDistinctStreams(t *testing.T) {
+	// Seed 0 must be as valid as any other: no stream may collapse to a
+	// constant or collide with another stream's seed.
+	for _, base := range []int64{0, 1, 7, -3, 1 << 40} {
+		seen := map[int64]uint64{}
+		for stream := uint64(0); stream < 2000; stream++ {
+			s := DeriveSeed(base, stream)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("base %d: streams %d and %d derive the same seed %d", base, prev, stream, s)
+			}
+			seen[s] = stream
+		}
+	}
+	if DeriveSeed(0, 0) == 0 {
+		t.Error("DeriveSeed(0, 0) is 0; zero seed not scrambled")
+	}
+	if DeriveSeed(0, 1) == DeriveSeed(1, 1) {
+		t.Error("different base seeds derive identical stream seeds")
 	}
 }

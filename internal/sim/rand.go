@@ -17,6 +17,24 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
 }
 
+// DeriveSeed mixes a base seed with a stream identifier through the
+// splitmix64 finalizer, yielding decorrelated per-stream seeds. Unlike
+// additive schemes (seed + constant), every base seed — including 0 —
+// produces a distinct, well-scrambled seed per stream, and no two
+// (seed, stream) pairs collide by simple arithmetic coincidence.
+func DeriveSeed(seed int64, stream uint64) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ stream))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator (Steele et al.),
+// a strong 64-bit avalanche mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
 // Fork derives an independent child stream. Successive calls yield distinct
 // streams; forking does not perturb the parent beyond one draw.
 func (g *RNG) Fork() *RNG {

@@ -1,17 +1,35 @@
 package testbed
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/availbw"
+	"repro/internal/campaign"
 	"repro/internal/iperf"
 	"repro/internal/netem"
 	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
 )
+
+// Seed-stream identifiers for sim.DeriveSeed. Keeping them distinct (and
+// documented) guarantees the catalog's RNG stream can never collide with
+// a trace's, which the old additive scheme (seed + 7777, seed + 10007·p +
+// 101·t) did not: path 0's trace 77 shared the catalog seed.
+const (
+	seedStreamCatalog   = 0xCA7A106<<32 | 1 // primary-set path catalog
+	seedStreamSecondSet = 0xCA7A106<<32 | 2 // Mar-2006-style second catalog
+)
+
+// traceSeedStream returns the DeriveSeed stream for one (path, trace)
+// slot. Streams are disjoint from the catalog streams above because the
+// top 32 bits can never equal 0xCA7A106 for realistic path counts.
+func traceSeedStream(pathIdx, traceIdx int) uint64 {
+	return uint64(pathIdx+1)<<20 | uint64(traceIdx)
+}
 
 // Flow IDs used on every testbed path.
 const (
@@ -44,6 +62,16 @@ type RunConfig struct {
 	Ping     probe.Config
 
 	Parallelism int // worker goroutines; 0 = GOMAXPROCS
+
+	// Retries is how many times a faulted trace (recovered panic) is
+	// re-run with the same seed before being reported as failed.
+	// 0 means the default of 1; negative disables retries.
+	Retries int
+
+	// Observer receives campaign progress callbacks (nil: none). It is
+	// execution instrumentation, not part of the campaign's identity:
+	// results are byte-identical whatever observer is attached.
+	Observer campaign.Observer
 }
 
 func (c RunConfig) defaults() RunConfig {
@@ -71,6 +99,9 @@ func (c RunConfig) defaults() RunConfig {
 	if c.Parallelism == 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
 	// Horizon for load processes: a bit beyond the full trace duration.
 	perEpoch := 25 + c.PingDuration + c.TransferSec + c.EpochGap
 	if c.SmallWindowBytes > 0 {
@@ -80,7 +111,7 @@ func (c RunConfig) defaults() RunConfig {
 		c.Catalog.Horizon = perEpoch*float64(c.EpochsPerTrace) + 600
 	}
 	if c.Catalog.Seed == 0 {
-		c.Catalog.Seed = c.Seed + 7777
+		c.Catalog.Seed = sim.DeriveSeed(c.Seed, seedStreamCatalog)
 	}
 	return c
 }
@@ -91,7 +122,6 @@ func DefaultScaled(seed int64) RunConfig {
 	return RunConfig{
 		Seed: seed,
 		Catalog: CatalogConfig{
-			Seed:      seed + 7777,
 			NumPaths:  12,
 			NumDSL:    3,
 			NumTrans:  2,
@@ -120,7 +150,6 @@ func DefaultScaled(seed int64) RunConfig {
 func PaperScale(seed int64) RunConfig {
 	return RunConfig{
 		Seed:             seed,
-		Catalog:          CatalogConfig{Seed: seed + 7777},
 		SmallWindowBytes: 20 * 1024,
 	}
 }
@@ -131,7 +160,7 @@ func SecondSet(seed int64, scaled bool) RunConfig {
 	cfg := RunConfig{
 		Seed: seed,
 		Catalog: CatalogConfig{
-			Seed:     seed + 13579,
+			Seed:     sim.DeriveSeed(seed, seedStreamSecondSet),
 			NumPaths: 24,
 			NumDSL:   1,
 			NumTrans: 0,
@@ -155,45 +184,79 @@ func SecondSet(seed int64, scaled bool) RunConfig {
 	return cfg
 }
 
+// testHookPreEpoch, when non-nil, runs before every epoch. Tests use it
+// to inject faults (panics) and cancellations into specific traces.
+var testHookPreEpoch func(job campaign.Job, epoch int)
+
 // Collect runs the full campaign described by cfg and returns the dataset.
-// Traces run in parallel (each owns a private engine) and results are
-// assembled in deterministic order.
+// It is a compatibility wrapper over CollectContext for callers that need
+// neither cancellation nor error reporting.
 func Collect(cfg RunConfig) *Dataset {
+	ds, _ := CollectContext(context.Background(), cfg)
+	return ds
+}
+
+// CollectContext runs the campaign on the campaign runner: trace jobs
+// execute in parallel (each owns a private engine), faults in one trace
+// are isolated and retried with the same seed, and progress flows to
+// cfg.Observer.
+//
+// Results are assembled in job order regardless of Parallelism, so equal
+// configurations yield byte-identical datasets. Cancelling ctx stops the
+// campaign at the next epoch boundary of each running trace; completed
+// traces are returned as a partial dataset alongside ctx.Err(). Traces
+// that failed after all retries are omitted from the dataset and reported
+// joined into the returned error.
+func CollectContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	cfg = cfg.defaults()
 	paths := Catalog(cfg.Catalog)
 
-	type job struct{ pathIdx, traceIdx int }
-	jobs := make([]job, 0, len(paths)*cfg.TracesPerPath)
-	for p := range paths {
+	jobs := make([]campaign.Job, 0, len(paths)*cfg.TracesPerPath)
+	pcs := make([]PathConfig, 0, cap(jobs))
+	for p, pc := range paths {
 		for t := 0; t < cfg.TracesPerPath; t++ {
-			jobs = append(jobs, job{p, t})
+			jobs = append(jobs, campaign.Job{
+				Index:  len(jobs),
+				Path:   pc.Name,
+				Trace:  t,
+				Seed:   sim.DeriveSeed(cfg.Seed, traceSeedStream(p, t)),
+				Epochs: cfg.EpochsPerTrace,
+			})
+			pcs = append(pcs, pc)
 		}
 	}
-	results := make([]Trace, len(jobs))
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Parallelism)
-	for i, j := range jobs {
-		i, j := i, j
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			pc := paths[j.pathIdx]
-			seed := cfg.Seed + int64(j.pathIdx)*10007 + int64(j.traceIdx)*101
-			results[i] = runTrace(cfg, pc, j.traceIdx, seed)
-		}()
+	runner := &campaign.Runner[Trace]{
+		Parallelism: cfg.Parallelism,
+		Retries:     max(cfg.Retries, 0),
+		Observer:    cfg.Observer,
 	}
-	wg.Wait()
+	results, ctxErr := runner.Run(ctx, jobs, func(ctx context.Context, job campaign.Job, rep *campaign.Reporter) (Trace, error) {
+		return runTrace(ctx, cfg, pcs[job.Index], job, rep)
+	})
 
-	return &Dataset{Label: fmt.Sprintf("seed%d", cfg.Seed), Traces: results}
+	ds := &Dataset{Label: fmt.Sprintf("seed%d", cfg.Seed)}
+	var errs []error
+	for _, res := range results {
+		switch {
+		case res.Err == nil:
+			ds.Traces = append(ds.Traces, res.Value)
+		case res.Attempts > 0 && !isContextErr(res.Err):
+			errs = append(errs, res.Err)
+		}
+	}
+	if ctxErr != nil {
+		errs = append(errs, ctxErr)
+	}
+	return ds, joinErrs(errs)
 }
 
 // runTrace simulates one trace: builds a fresh engine, path and ambient
 // traffic, then executes EpochsPerTrace measurement epochs back-to-back.
-func runTrace(cfg RunConfig, pc PathConfig, traceIdx int, seed int64) Trace {
-	rng := sim.NewRNG(seed)
+// ctx is checked at every epoch boundary, so cancellation aborts the
+// trace cleanly mid-run without corrupting other traces.
+func runTrace(ctx context.Context, cfg RunConfig, pc PathConfig, job campaign.Job, rep *campaign.Reporter) (Trace, error) {
+	rng := sim.NewRNG(job.Seed)
 	eng := sim.NewEngine()
 	path := netem.NewPath(eng, rng.Fork(), pc.Spec)
 	env := startAmbient(eng, rng, path, pc, cfg)
@@ -205,18 +268,37 @@ func runTrace(cfg RunConfig, pc PathConfig, traceIdx int, seed int64) Trace {
 	eng.RunUntil(eng.Now() + 5)
 	prober.Start()
 
-	tr := Trace{Path: pc.Name, Class: string(pc.Class), Index: traceIdx}
+	tr := Trace{Path: pc.Name, Class: string(pc.Class), Index: job.Trace}
 	for ep := 0; ep < cfg.EpochsPerTrace; ep++ {
+		if err := ctx.Err(); err != nil {
+			return tr, err
+		}
+		if testHookPreEpoch != nil {
+			testHookPreEpoch(job, ep)
+		}
+		mark := eng.Processed()
 		rec := runEpoch(cfg, pc, eng, path, prober, env)
 		rec.Path = pc.Name
 		rec.Class = string(pc.Class)
-		rec.Trace = traceIdx
+		rec.Trace = job.Trace
 		rec.Epoch = ep
 		tr.Records = append(tr.Records, rec)
+		rep.Epoch(ep, eng.Now(), eng.ProcessedSince(mark))
 	}
 	prober.Stop()
 	env.stop()
-	return tr
+	return tr, nil
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func joinErrs(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	return errors.Join(errs...)
 }
 
 // ambient bundles a trace's cross-traffic machinery.

@@ -36,6 +36,9 @@ func TinyConfig(seed int64) RunConfig {
 }
 
 func TestCollectSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaign; skipped in -short mode")
+	}
 	ds := Collect(TinyConfig(42))
 	if got := len(ds.Traces); got != 3 {
 		t.Fatalf("traces = %d, want 3", got)

@@ -65,6 +65,9 @@ func TestCatalogPathProperties(t *testing.T) {
 }
 
 func TestCollectDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaign; skipped in -short mode")
+	}
 	cfg := TinyConfig(5)
 	cfg.Parallelism = 2
 	a := Collect(cfg)
@@ -107,6 +110,9 @@ func TestCollectRecordsComplete(t *testing.T) {
 }
 
 func TestCollectEpochTimesIncrease(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaign; skipped in -short mode")
+	}
 	ds := Collect(TinyConfig(2))
 	for _, tr := range ds.Traces {
 		for i := 1; i < len(tr.Records); i++ {

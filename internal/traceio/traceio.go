@@ -5,6 +5,7 @@ package traceio
 
 import (
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -70,14 +71,28 @@ func Load(path string) (*testbed.Dataset, error) {
 
 // LoadOrCollect loads the dataset at path if it exists; otherwise it
 // collects one with the given config and saves it to path (when path is
-// non-empty).
+// non-empty). It is a compatibility wrapper over LoadOrCollectContext.
 func LoadOrCollect(path string, cfg testbed.RunConfig) (*testbed.Dataset, error) {
+	return LoadOrCollectContext(context.Background(), path, cfg)
+}
+
+// LoadOrCollectContext is LoadOrCollect with cancellation: a collection
+// in progress aborts at the next epoch boundaries and the partial dataset
+// is returned (but not saved) alongside ctx.Err(). Campaign progress
+// flows to cfg.Observer.
+func LoadOrCollectContext(ctx context.Context, path string, cfg testbed.RunConfig) (*testbed.Dataset, error) {
 	if path != "" {
 		if _, err := os.Stat(path); err == nil {
 			return Load(path)
 		}
 	}
-	ds := testbed.Collect(cfg)
+	ds, err := testbed.CollectContext(ctx, cfg)
+	if err != nil {
+		// Partial or faulted campaigns are returned for inspection but
+		// never persisted: a later run must not mistake them for the
+		// complete dataset.
+		return ds, err
+	}
 	if path != "" {
 		if err := Save(path, ds); err != nil {
 			return nil, err

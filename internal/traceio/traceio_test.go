@@ -1,6 +1,8 @@
 package traceio_test
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -110,6 +112,36 @@ func TestLoadOrCollectUsesExisting(t *testing.T) {
 	}
 	if !reflect.DeepEqual(ds, got) {
 		t.Error("LoadOrCollect did not load the existing dataset")
+	}
+}
+
+// TestLoadOrCollectContextCancelledDoesNotSave checks that a cancelled
+// collection never persists its partial dataset: the next run must
+// re-collect, not load a truncated file.
+func TestLoadOrCollectContextCancelledDoesNotSave(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "ds.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: collection aborts immediately
+
+	cfg := testbed.RunConfig{
+		Seed:           1,
+		Catalog:        testbed.CatalogConfig{NumPaths: 2, MinCapBps: 3e6, MaxCapBps: 10e6},
+		TracesPerPath:  1,
+		EpochsPerTrace: 2,
+		PingDuration:   5,
+		TransferSec:    5,
+		EpochGap:       2,
+	}
+	ds, err := traceio.LoadOrCollectContext(ctx, file, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ds == nil {
+		t.Fatal("no (possibly empty) partial dataset returned")
+	}
+	if _, statErr := os.Stat(file); !os.IsNotExist(statErr) {
+		t.Error("cancelled collection saved a partial dataset")
 	}
 }
 

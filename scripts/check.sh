@@ -1,0 +1,27 @@
+#!/bin/sh
+# check.sh — the CI gate, runnable locally: formatting, vet, build, and the
+# race-enabled short test suite. Slow multi-second campaign tests are
+# guarded by testing.Short(); run `make test` (or `go test ./...`) for the
+# full suite.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race -short"
+go test -race -short ./...
+
+echo "OK"

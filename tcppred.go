@@ -16,14 +16,19 @@
 //     removal heuristics.
 //
 // The measurement side (Measure, NewTestbedPath) lets applications collect
-// the inputs on simulated paths; testbed campaigns and the paper's full
-// figure set live in cmd/ronsim and cmd/repro.
+// the inputs on simulated paths. Full measurement campaigns run on the
+// campaign runner (CollectDataset) with context cancellation, fault
+// isolation and progress observers; the paper's figure set lives in
+// cmd/ronsim and cmd/repro.
 package tcppred
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/availbw"
+	"repro/internal/campaign"
 	"repro/internal/iperf"
 	"repro/internal/netem"
 	"repro/internal/predict"
@@ -31,6 +36,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/tcpmodel"
 	"repro/internal/tcpsim"
+	"repro/internal/testbed"
 )
 
 // Model selects a TCP throughput formula for FB prediction.
@@ -128,6 +134,46 @@ func WithLSO(inner HBPredictor) HBPredictor {
 func WithLSOConfig(inner HBPredictor, cfg LSOConfig) HBPredictor {
 	return predict.NewLSO(inner, cfg)
 }
+
+// RunConfig configures a measurement campaign on the simulated RON-style
+// testbed: path catalog, traces per path, epochs per trace, parallelism,
+// retries, and an optional progress Observer.
+type RunConfig = testbed.RunConfig
+
+// Dataset is the result of a campaign: one Trace per (path, trace index),
+// each a sequence of per-epoch measurement records.
+type Dataset = testbed.Dataset
+
+// Observer receives campaign lifecycle events (traces started/finished,
+// epochs completed) — see NewProgressObserver and NewJSONLObserver.
+type Observer = campaign.Observer
+
+// DefaultCampaign returns the scaled-down default campaign configuration
+// (12 paths × 2 traces × 40 epochs) for the given seed.
+func DefaultCampaign(seed int64) RunConfig { return testbed.DefaultScaled(seed) }
+
+// PaperCampaign returns the paper's full-scale campaign configuration
+// (35 paths × 7 traces × 150 epochs; slow).
+func PaperCampaign(seed int64) RunConfig { return testbed.PaperScale(seed) }
+
+// CollectDataset runs the campaign described by cfg under ctx. Cancelling
+// the context aborts cleanly at epoch boundaries: the completed traces are
+// still returned as a partial dataset alongside ctx.Err(). A trace that
+// faults is isolated and retried with the same seed; persistent failures
+// are reported in the returned error while the rest of the campaign
+// completes.
+func CollectDataset(ctx context.Context, cfg RunConfig) (*Dataset, error) {
+	return testbed.CollectContext(ctx, cfg)
+}
+
+// NewProgressObserver returns an Observer that renders a live progress
+// line (trace counts, epoch rate, ETA) to w; assign it to
+// RunConfig.Observer.
+func NewProgressObserver(w io.Writer) Observer { return campaign.NewProgress(w) }
+
+// NewJSONLObserver returns an Observer that emits one JSON object per
+// campaign event to w, for machine consumption.
+func NewJSONLObserver(w io.Writer) Observer { return campaign.NewJSONL(w) }
 
 // PathSpec describes a simulated bidirectional network path.
 type PathSpec = netem.PathSpec
