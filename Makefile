@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench loadtest
 
 check:
 	./scripts/check.sh
@@ -25,3 +25,8 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Sustained prediction-service load: ≥50k requests against a real daemon,
+# twice, asserting zero errors and cross-run digest equality.
+loadtest:
+	$(GO) test -race -run 'TestSustainedLoad50k' -count=1 -v ./internal/predsvc

@@ -1,0 +1,91 @@
+// Command predload is the load generator for predserverd: it replays
+// per-path throughput traces — either testbed-simulated (a dataset JSON
+// written by cmd/repro / traceio, or simulated on the fly) or fast
+// synthetic series with the paper's level-shift/outlier structure —
+// against a running daemon, concurrently but strictly in order per path,
+// and reports achieved request rate, the accuracy of the daemon's "best"
+// forecasts (paper Eq. 4/5), and a determinism digest over every
+// /v1/predict response body.
+//
+// Two runs with the same flags against fresh daemons must print the same
+// digest: that is the service's determinism contract, checkable from the
+// command line.
+//
+// Examples:
+//
+//	predload -addr http://127.0.0.1:8355 -paths 120 -epochs 150
+//	predload -dataset results/dataset.json -workers 32
+//	predload -testbed -seed 7     # simulate a small campaign, then replay it
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"strings"
+
+	"repro/internal/predsvc"
+	"repro/internal/testbed"
+	"repro/internal/traceio"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8355", "base URL of predserverd")
+		paths   = flag.Int("paths", 120, "synthetic paths to generate")
+		epochs  = flag.Int("epochs", 150, "epochs per synthetic path")
+		seed    = flag.Int64("seed", 1, "seed for synthetic/testbed series")
+		workers = flag.Int("workers", 16, "concurrent client goroutines")
+		dataset = flag.String("dataset", "", "replay a dataset JSON instead of synthetic series")
+		useTb   = flag.Bool("testbed", false, "simulate a small testbed campaign and replay it")
+	)
+	flag.Parse()
+
+	// Accept the same bare host:port the daemon's -addr takes.
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var series []predsvc.PathSeries
+	switch {
+	case *dataset != "":
+		ds, err := traceio.Load(*dataset)
+		if err != nil {
+			log.Fatalf("predload: load %s: %v", *dataset, err)
+		}
+		series = predsvc.SeriesFromDataset(ds)
+		log.Printf("predload: replaying %d traces from %s", len(series), *dataset)
+	case *useTb:
+		cfg := testbed.DefaultScaled(*seed)
+		log.Printf("predload: simulating a %d-path scaled campaign (this takes a while)...", cfg.Catalog.NumPaths)
+		ds, err := testbed.CollectContext(ctx, cfg)
+		if err != nil {
+			log.Fatalf("predload: campaign: %v", err)
+		}
+		series = predsvc.SeriesFromDataset(ds)
+	default:
+		series = predsvc.SyntheticSeries(*paths, *epochs, *seed)
+		log.Printf("predload: replaying %d synthetic paths × %d epochs", *paths, *epochs)
+	}
+
+	rep, err := predsvc.Replay(ctx, predsvc.LoadConfig{
+		BaseURL: base,
+		Workers: *workers,
+	}, series)
+	if err != nil {
+		log.Fatalf("predload: %v", err)
+	}
+	fmt.Println(rep)
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}

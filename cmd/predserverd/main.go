@@ -1,0 +1,90 @@
+// Command predserverd is the online throughput-prediction daemon: it
+// serves the internal/predsvc HTTP JSON API (observe / measure / predict /
+// stats) over a sharded, LRU-bounded path registry, with graceful shutdown
+// on SIGINT/SIGTERM and optional periodic JSON snapshots of registry state.
+//
+// Example:
+//
+//	predserverd -addr :8355 -capacity 8192 -snapshot /tmp/predsvc.json -snapshot-interval 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/predsvc"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8355", "listen address")
+		shards       = flag.Int("shards", 16, "registry shards (rounded up to a power of two)")
+		capacity     = flag.Int("capacity", 4096, "maximum paths kept (LRU eviction beyond this)")
+		errWindow    = flag.Int("err-window", 50, "rolling errors kept per predictor for RMSRE")
+		maOrder      = flag.Int("ma", 10, "moving-average order")
+		ewmaAlpha    = flag.Float64("ewma", 0.8, "EWMA weight α")
+		hwAlpha      = flag.Float64("hw-alpha", 0.8, "Holt-Winters α")
+		hwBeta       = flag.Float64("hw-beta", 0.2, "Holt-Winters β")
+		noLSO        = flag.Bool("no-lso", false, "disable the level-shift/outlier wrapper")
+		snapshotPath = flag.String("snapshot", "", "snapshot file (restored at startup, written periodically and at shutdown)")
+		snapshotIvl  = flag.Duration("snapshot-interval", time.Minute, "interval between snapshots")
+	)
+	flag.Parse()
+
+	cfg := predsvc.Config{
+		Shards:      *shards,
+		Capacity:    *capacity,
+		ErrorWindow: *errWindow,
+		MAOrder:     *maOrder,
+		EWMAAlpha:   *ewmaAlpha,
+		HWAlpha:     *hwAlpha,
+		HWBeta:      *hwBeta,
+		DisableLSO:  *noLSO,
+	}
+	srv := predsvc.NewServer(cfg)
+
+	if *snapshotPath != "" {
+		n, err := srv.RestoreSnapshot(*snapshotPath)
+		if err != nil {
+			log.Fatalf("predserverd: restore %s: %v", *snapshotPath, err)
+		}
+		if n > 0 {
+			log.Printf("predserverd: restored %d paths from %s", n, *snapshotPath)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("predserverd: listen %s: %v", *addr, err)
+	}
+	log.Printf("predserverd: serving on http://%s (%d shards, capacity %d)",
+		ln.Addr(), srv.Registry().Shards(), srv.Registry().Capacity())
+
+	snapDone := make(chan error, 1)
+	if *snapshotPath != "" {
+		go func() { snapDone <- srv.SnapshotLoop(ctx, *snapshotPath, *snapshotIvl) }()
+	} else {
+		snapDone <- nil
+	}
+
+	if err := srv.Serve(ctx, ln); err != nil {
+		log.Fatalf("predserverd: serve: %v", err)
+	}
+	if err := <-snapDone; err != nil {
+		log.Fatalf("predserverd: snapshot: %v", err)
+	}
+	if *snapshotPath != "" {
+		log.Printf("predserverd: final snapshot written to %s", *snapshotPath)
+	}
+	fmt.Println("predserverd: shut down cleanly")
+}

@@ -10,6 +10,8 @@ package predict
 // subsumes the mean-reverting behaviour of MA/EWMA while capturing short
 // autocorrelation, and degrades gracefully to the window mean when the
 // series is white.
+import "strconv"
+
 type AR struct {
 	order  int
 	window int
@@ -32,7 +34,7 @@ func NewAR(order, window int) *AR {
 	if window < order+2 {
 		window = order + 2
 	}
-	return &AR{order: order, window: window, name: "AR(" + itoa(order) + ")"}
+	return &AR{order: order, window: window, name: "AR(" + strconv.Itoa(order) + ")"}
 }
 
 // Name implements HB.

@@ -1,9 +1,17 @@
 package predict
 
+import "strconv"
+
 // HB is the interface of history-based one-step-ahead predictors. The usage
 // protocol is: call Predict to obtain the forecast for the next
 // measurement, then Observe the actual value, repeatedly. Predict before
 // any observation returns (0, false).
+//
+// Implementations are NOT goroutine-safe: Predict, Observe and Reset must
+// never be called concurrently on the same predictor. Concurrent callers
+// (e.g. a prediction service handling many clients) must serialize access
+// themselves; the predsvc.Session wrapper in internal/predsvc does exactly
+// that and is the intended goroutine-safe entry point.
 type HB interface {
 	// Predict returns the forecast for the next value and whether enough
 	// history exists to make one.
@@ -36,7 +44,7 @@ func NewMA(n int) *MA {
 }
 
 func maName(n int) string {
-	return itoa(n) + "-MA"
+	return strconv.Itoa(n) + "-MA"
 }
 
 // Predict implements HB.
@@ -96,7 +104,7 @@ type EWMA struct {
 
 // NewEWMA returns an EWMA predictor with weight alpha in (0, 1).
 func NewEWMA(alpha float64) *EWMA {
-	return &EWMA{alpha: alpha, name: ftoa(alpha) + "-EWMA"}
+	return &EWMA{alpha: alpha, name: paramString(alpha) + "-EWMA"}
 }
 
 // Predict implements HB.
@@ -142,7 +150,7 @@ type HoltWinters struct {
 // NewHoltWinters returns a Holt-Winters predictor; the paper uses α = 0.8,
 // β = 0.2.
 func NewHoltWinters(alpha, beta float64) *HoltWinters {
-	return &HoltWinters{alpha: alpha, beta: beta, name: ftoa(alpha) + "-HW"}
+	return &HoltWinters{alpha: alpha, beta: beta, name: paramString(alpha) + "-HW"}
 }
 
 // Predict implements HB.
@@ -187,35 +195,8 @@ func (h *HoltWinters) Reset() { h.s, h.t, h.x0, h.n = 0, 0, 0, 0 }
 // Name implements HB.
 func (h *HoltWinters) Name() string { return h.name }
 
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	neg := n < 0
-	if neg {
-		n = -n
-	}
-	var b [24]byte
-	i := len(b)
-	for n > 0 {
-		i--
-		b[i] = byte('0' + n%10)
-		n /= 10
-	}
-	if neg {
-		i--
-		b[i] = '-'
-	}
-	return string(b[i:])
-}
-
-func ftoa(f float64) string {
-	// One decimal place is enough for predictor parameter names.
-	whole := int(f)
-	frac := int((f-float64(whole))*10 + 0.5)
-	if frac == 10 {
-		whole++
-		frac = 0
-	}
-	return itoa(whole) + "." + itoa(frac)
+// paramString renders a smoothing parameter for a predictor name using the
+// shortest exact decimal representation ("0.8", "0.25").
+func paramString(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
 }

@@ -1,6 +1,9 @@
 package predict
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // LSOConfig tunes the level-shift/outlier heuristics of paper §5.2. The
 // paper's empirically chosen values are γ = 0.3 (level-shift relative
@@ -265,6 +268,29 @@ type EvalResult struct {
 	Errors []float64 // relative error per predicted sample
 	// Predictions pairs each error with its forecast and actual value.
 	Predictions int
+}
+
+// RMSRE returns the root mean square relative error (paper Eq. 5) of the
+// evaluation, clamping |E| at clampAbs before squaring when clampAbs > 0.
+// ok is false when the predictor never produced a forecast (empty or
+// all-unready series), so callers get a guarded zero-count result instead
+// of a division by zero.
+func (r EvalResult) RMSRE(clampAbs float64) (rmsre float64, ok bool) {
+	if r.Predictions == 0 || len(r.Errors) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, e := range r.Errors {
+		if clampAbs > 0 {
+			if e > clampAbs {
+				e = clampAbs
+			} else if e < -clampAbs {
+				e = -clampAbs
+			}
+		}
+		sum += e * e
+	}
+	return math.Sqrt(sum / float64(len(r.Errors))), true
 }
 
 // Evaluate runs a fresh predictor over the series, collecting the relative

@@ -223,3 +223,26 @@ func TestMedianOf(t *testing.T) {
 		t.Error("empty median should be 0")
 	}
 }
+
+func TestEvalResultRMSREGuard(t *testing.T) {
+	// Empty series: no forecast is ever made, so RMSRE must report ok=false
+	// (a guarded zero-count result) rather than dividing by zero.
+	if r, ok := Evaluate(NewMA(5), nil).RMSRE(10); ok || r != 0 {
+		t.Errorf("empty series: got (%v, %v), want (0, false)", r, ok)
+	}
+	// All-unready series: a single observation never yields a prediction.
+	if r, ok := Evaluate(NewMA(5), []float64{4e6}).RMSRE(10); ok || r != 0 {
+		t.Errorf("all-unready series: got (%v, %v), want (0, false)", r, ok)
+	}
+	// Non-degenerate case: errors are clamped and averaged under a sqrt.
+	res := Evaluate(NewMA(1), []float64{1e6, 2e6, 2e6})
+	r, ok := res.RMSRE(10)
+	if !ok {
+		t.Fatal("expected ok=true with 2 predictions")
+	}
+	// Errors: (1e6-2e6)/1e6 = -1, (2e6-2e6) = 0 → RMSRE = sqrt(1/2).
+	want := math.Sqrt(0.5)
+	if math.Abs(r-want) > 1e-12 {
+		t.Errorf("RMSRE = %v, want %v", r, want)
+	}
+}

@@ -1,0 +1,111 @@
+// Package predsvc is the online serving layer of the reproduction: a
+// concurrent, sharded in-memory path registry that owns one goroutine-safe
+// predictor session per network path, exposed over an HTTP JSON API by
+// cmd/predserverd and exercised by the cmd/predload load generator.
+//
+// The paper evaluates its predictors offline, over recorded traces; this
+// package is the deployment shape the paper motivates (§1, §7): overlay
+// routing, replica selection and streaming systems ask "what throughput
+// will a bulk transfer on path P achieve right now?" before starting the
+// transfer. Each session keeps the paper's History-Based ensemble
+// (MA/EWMA/Holt-Winters, optionally LSO-wrapped, §5), a Formula-Based
+// predictor fed with the latest pre-flow measurements (Eq. 3), and rolling
+// accuracy statistics — the relative error of Eq. 4 and the RMSRE of
+// Eq. 5 over a sliding window — so the service can also answer "which
+// predictor is best on this path right now".
+//
+// Determinism contract: for a fixed per-path sequence of observe/measure
+// requests, every /v1/predict response body is byte-identical across runs
+// and across registry shard counts; accuracy state is per-path and updated
+// only by that path's requests.
+package predsvc
+
+import "repro/internal/predict"
+
+// Config tunes the registry, the per-path predictor ensemble, and the
+// rolling accuracy statistics. The zero value picks sensible defaults.
+type Config struct {
+	// Shards is the number of registry shards, rounded up to a power of
+	// two (default 16). More shards reduce lock contention.
+	Shards int
+	// Capacity is the maximum number of paths kept registry-wide; the
+	// least-recently-used path of a full shard is evicted to admit a new
+	// one. Enforced per shard as Capacity/Shards (default 4096, min 1 per
+	// shard).
+	Capacity int
+
+	// ErrorWindow is the number of most recent relative errors (paper
+	// Eq. 4) retained per predictor for the rolling RMSRE (default 50).
+	ErrorWindow int
+	// ErrClamp bounds |E| when aggregating RMSRE, as in the offline
+	// experiments (default 10).
+	ErrClamp float64
+	// MinErrors is how many errors a predictor needs before it competes
+	// for "best predictor" (default 3).
+	MinErrors int
+	// HistoryLimit is the number of raw observations retained per path
+	// for snapshot/restore (default 128).
+	HistoryLimit int
+
+	// MAOrder is the moving-average order (default 10, the paper's
+	// sweet spot for stationary paths).
+	MAOrder int
+	// EWMAAlpha is the EWMA weight (default 0.8).
+	EWMAAlpha float64
+	// HWAlpha, HWBeta are the Holt-Winters weights (default 0.8 / 0.2,
+	// the paper's choice).
+	HWAlpha, HWBeta float64
+	// DisableLSO turns off the level-shift/outlier wrapper; by default
+	// every ensemble member is LSO-wrapped (the paper's best configs).
+	DisableLSO bool
+	// LSO overrides the LSO thresholds (zero value: paper defaults).
+	LSO predict.LSOConfig
+
+	// FB configures the formula-based predictor (zero value: PFTK,
+	// 1460 B MSS, 1 MB window, delayed ACKs — the paper's target flow).
+	FB predict.FBConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	c.Shards = nextPow2(c.Shards)
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	if c.ErrorWindow <= 0 {
+		c.ErrorWindow = 50
+	}
+	if c.ErrClamp == 0 {
+		c.ErrClamp = 10
+	}
+	if c.MinErrors <= 0 {
+		c.MinErrors = 3
+	}
+	if c.HistoryLimit <= 0 {
+		c.HistoryLimit = 128
+	}
+	if c.MAOrder <= 0 {
+		c.MAOrder = 10
+	}
+	if c.EWMAAlpha == 0 {
+		c.EWMAAlpha = 0.8
+	}
+	if c.HWAlpha == 0 {
+		c.HWAlpha = 0.8
+	}
+	if c.HWBeta == 0 {
+		c.HWBeta = 0.2
+	}
+	return c
+}
+
+// nextPow2 returns the smallest power of two ≥ n (n ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

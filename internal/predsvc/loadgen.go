@@ -1,0 +1,348 @@
+package predsvc
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/predict"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// PathSeries is one path's replayable trace: the per-epoch achieved
+// throughputs, and optionally the per-epoch a-priori measurements for the
+// FB side (nil Inputs replays a pure HB workload).
+type PathSeries struct {
+	Path        string
+	Throughputs []float64
+	Inputs      []predict.FBInputs // len == len(Throughputs) when non-nil
+}
+
+// SeriesFromDataset converts a testbed-simulated dataset into replayable
+// per-path series: each (path, trace) pair becomes one service path named
+// "<path>#<trace>", with the pre-flow measurements of every epoch feeding
+// the FB side, exactly as an online deployment would see them.
+func SeriesFromDataset(ds *testbed.Dataset) []PathSeries {
+	var out []PathSeries
+	for _, tr := range ds.Traces {
+		s := PathSeries{Path: fmt.Sprintf("%s#%d", tr.Path, tr.Index)}
+		for _, rec := range tr.Records {
+			s.Throughputs = append(s.Throughputs, rec.Throughput)
+			s.Inputs = append(s.Inputs, predict.FBInputs{
+				RTT:      rec.PreRTT,
+				LossRate: rec.PreLoss,
+				AvailBw:  rec.AvailBw,
+			})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SyntheticSeries generates deterministic throughput series with the
+// structure the paper reports for real paths — a stationary level with
+// multiplicative noise, occasional level shifts, and occasional one-off
+// outlier dips — plus matching plausible pre-flow measurements. Identical
+// (paths, epochs, seed) always produce identical series.
+func SyntheticSeries(paths, epochs int, seed int64) []PathSeries {
+	out := make([]PathSeries, 0, paths)
+	for p := 0; p < paths; p++ {
+		rng := sim.NewRNG(sim.DeriveSeed(seed, uint64(p)+1))
+		base := rng.Uniform(2e6, 60e6) // long-run level, bps
+		rtt := rng.Uniform(0.01, 0.2)  // base RTT, seconds
+		lossy := rng.Bool(0.4)         // paper: ~40% of traces saw pre-flow loss
+		level := base * rng.Uniform(0.7, 1.3)
+		s := PathSeries{Path: fmt.Sprintf("synth-%03d", p)}
+		for e := 0; e < epochs; e++ {
+			if rng.Bool(0.02) { // level shift
+				level = base * rng.Uniform(0.4, 1.6)
+			}
+			x := level * (1 + 0.08*rng.Normal(0, 1))
+			if rng.Bool(0.03) { // outlier dip
+				x = level * rng.Uniform(0.2, 0.5)
+			}
+			if x < 1e4 {
+				x = 1e4
+			}
+			loss := 0.0
+			if lossy {
+				loss = rng.Uniform(0.0005, 0.02)
+			}
+			s.Throughputs = append(s.Throughputs, x)
+			s.Inputs = append(s.Inputs, predict.FBInputs{
+				RTT:      rtt * rng.Uniform(0.9, 1.2),
+				LossRate: loss,
+				AvailBw:  level * rng.Uniform(0.7, 1.2),
+			})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// LoadConfig tunes a Replay run.
+type LoadConfig struct {
+	// BaseURL of the daemon, e.g. "http://127.0.0.1:8355".
+	BaseURL string
+	// Workers is the number of concurrent client goroutines; each path is
+	// owned by exactly one worker, so per-path request order (measure →
+	// predict → observe per epoch) is preserved — the determinism
+	// contract of the service (default 8).
+	Workers int
+	// ErrClamp bounds |E| in the client-side accuracy aggregation
+	// (default 10, as in the offline experiments).
+	ErrClamp float64
+	// Client overrides the HTTP client (default: keep-alive tuned for
+	// Workers connections).
+	Client *http.Client
+}
+
+// LoadReport summarizes a Replay run.
+type LoadReport struct {
+	Paths    int
+	Epochs   int // total epochs replayed across paths
+	Requests uint64
+	Errors   uint64
+	Duration time.Duration
+	QPS      float64
+
+	// Accuracy of the service's "best" forecast against the next actual
+	// throughput, scored client-side with the paper's Eq. 4/5.
+	Predictions  int
+	RMSRE        float64
+	MedianAbsErr float64
+
+	// Digest is a SHA-256 over every 200-OK /v1/predict response body,
+	// chained per path and combined in sorted path order — identical
+	// digests across two runs prove byte-identical predict responses.
+	Digest string
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf(
+		"%d paths, %d epochs: %d requests (%d errors) in %v → %.0f req/s; "+
+			"%d predictions scored, RMSRE %.3f, median |E| %.3f\ndigest sha256:%s",
+		r.Paths, r.Epochs, r.Requests, r.Errors, r.Duration.Round(time.Millisecond),
+		r.QPS, r.Predictions, r.RMSRE, r.MedianAbsErr, r.Digest)
+}
+
+// Replay drives the daemon at cfg.BaseURL with the given series: per path
+// and epoch it installs the pre-flow measurements (when present), asks for
+// a prediction, scores the returned best forecast against the epoch's
+// actual throughput, and feeds that throughput back as an observation.
+// Paths are distributed over cfg.Workers goroutines; epochs within a path
+// are strictly sequential. Cancelling ctx stops the replay at the next
+// request boundary.
+func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadReport, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.ErrClamp == 0 {
+		cfg.ErrClamp = 10
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Workers * 2,
+				MaxIdleConnsPerHost: cfg.Workers * 2,
+			},
+		}
+	}
+
+	type workerOut struct {
+		requests uint64
+		errors   uint64
+		errs     []float64
+		digests  map[string]string
+		err      error
+	}
+	outs := make([]workerOut, cfg.Workers)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lw := loadWorker{cfg: cfg, client: client, digests: make(map[string]string)}
+			// Epoch-major over this worker's paths so load interleaves
+			// across paths instead of finishing them one by one.
+			maxEpochs := 0
+			var mine []PathSeries
+			for i := w; i < len(series); i += cfg.Workers {
+				mine = append(mine, series[i])
+				if n := len(series[i].Throughputs); n > maxEpochs {
+					maxEpochs = n
+				}
+			}
+			for e := 0; e < maxEpochs && lw.err == nil; e++ {
+				for _, ps := range mine {
+					if e >= len(ps.Throughputs) {
+						continue
+					}
+					if ctx.Err() != nil {
+						lw.err = ctx.Err()
+						break
+					}
+					lw.epoch(ctx, ps, e)
+				}
+			}
+			outs[w] = workerOut{
+				requests: lw.requests, errors: lw.errors,
+				errs: lw.scored, digests: lw.digests, err: lw.err,
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := &LoadReport{Paths: len(series)}
+	var allErrs []float64
+	perPath := make(map[string]string)
+	for _, o := range outs {
+		if o.err != nil && ctx.Err() == nil {
+			return nil, o.err
+		}
+		rep.Requests += o.requests
+		rep.Errors += o.errors
+		allErrs = append(allErrs, o.errs...)
+		for p, d := range o.digests {
+			perPath[p] = d
+		}
+	}
+	for _, ps := range series {
+		rep.Epochs += len(ps.Throughputs)
+	}
+	rep.Duration = time.Since(start)
+	if rep.Duration > 0 {
+		rep.QPS = float64(rep.Requests) / rep.Duration.Seconds()
+	}
+	rep.Predictions = len(allErrs)
+	rep.RMSRE = stats.RMSRE(allErrs, cfg.ErrClamp)
+	abs := make([]float64, len(allErrs))
+	for i, e := range allErrs {
+		abs[i] = math.Min(math.Abs(e), cfg.ErrClamp)
+	}
+	rep.MedianAbsErr = stats.Median(abs)
+
+	// Combine per-path digest chains in sorted order: worker assignment
+	// and completion order cannot affect the result.
+	names := make([]string, 0, len(perPath))
+	for p := range perPath {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, p := range names {
+		fmt.Fprintf(h, "%s=%s\n", p, perPath[p])
+	}
+	rep.Digest = hex.EncodeToString(h.Sum(nil))
+	return rep, ctx.Err()
+}
+
+// loadWorker is one replay goroutine's state.
+type loadWorker struct {
+	cfg      LoadConfig
+	client   *http.Client
+	requests uint64
+	errors   uint64
+	scored   []float64
+	digests  map[string]string // path → running hex digest chain
+	err      error
+}
+
+// epoch replays one (path, epoch) cell: measure → predict (scored) → observe.
+func (lw *loadWorker) epoch(ctx context.Context, ps PathSeries, e int) {
+	actual := ps.Throughputs[e]
+	hasInputs := ps.Inputs != nil
+	if hasInputs {
+		in := ps.Inputs[e]
+		lw.post(ctx, "/v1/measure", MeasureRequest{
+			Path: ps.Path, RTTSeconds: in.RTT, LossRate: in.LossRate, AvailBwBps: in.AvailBw,
+		}, nil)
+	}
+	// Before the first measure/observe the path does not exist yet; skip
+	// the predict so a pure-HB replay never asks about an unknown path.
+	if hasInputs || e > 0 {
+		var pred Prediction
+		body := lw.get(ctx, "/v1/predict?path="+ps.Path, &pred)
+		if body != nil {
+			prev := lw.digests[ps.Path]
+			sum := sha256.Sum256(append([]byte(prev), body...))
+			lw.digests[ps.Path] = hex.EncodeToString(sum[:])
+			if pred.Best != "" && pred.BestForecastBps > 0 {
+				lw.scored = append(lw.scored, stats.RelativeError(pred.BestForecastBps, actual))
+			}
+		}
+	}
+	lw.post(ctx, "/v1/observe", ObserveRequest{Path: ps.Path, ThroughputBps: actual}, nil)
+}
+
+func (lw *loadWorker) post(ctx context.Context, path string, body, out any) {
+	if lw.err != nil {
+		return
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		lw.err = err
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, lw.cfg.BaseURL+path, bytes.NewReader(data))
+	if err != nil {
+		lw.err = err
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	lw.do(req, out)
+}
+
+// get performs a GET and returns the raw body on HTTP 200 (nil otherwise),
+// decoding into out when non-nil.
+func (lw *loadWorker) get(ctx context.Context, path string, out any) []byte {
+	if lw.err != nil {
+		return nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, lw.cfg.BaseURL+path, nil)
+	if err != nil {
+		lw.err = err
+		return nil
+	}
+	return lw.do(req, out)
+}
+
+func (lw *loadWorker) do(req *http.Request, out any) []byte {
+	resp, err := lw.client.Do(req)
+	if err != nil {
+		lw.err = err
+		return nil
+	}
+	defer resp.Body.Close()
+	lw.requests++
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		lw.err = err
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		lw.errors++
+		return nil
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			lw.err = fmt.Errorf("predsvc: bad %s response: %w", req.URL.Path, err)
+			return nil
+		}
+	}
+	return body
+}

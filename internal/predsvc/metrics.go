@@ -1,0 +1,137 @@
+package predsvc
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// endpoint indexes the served HTTP endpoints for metrics.
+type endpoint int
+
+const (
+	epObserve endpoint = iota
+	epMeasure
+	epPredict
+	epStats
+	epVars
+	epCount
+)
+
+var endpointNames = [epCount]string{"observe", "measure", "predict", "stats", "debug_vars"}
+
+// histBuckets is the number of exponential latency buckets: bucket i
+// counts requests with latency < 2^i microseconds; the last bucket is a
+// catch-all (~8.4 s and beyond).
+const histBuckets = 24
+
+// histogram is a lock-free exponential latency histogram.
+type histogram struct {
+	counts [histBuckets]atomic.Uint64
+}
+
+func (h *histogram) record(d time.Duration) {
+	us := uint64(d.Microseconds())
+	b := bits.Len64(us) // 0 for <1µs, else floor(log2)+1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.counts[b].Add(1)
+}
+
+// HistogramSnapshot is the JSON form of a latency histogram: per-bucket
+// counts (bucket i = latency < 2^i µs) plus quantile upper bounds.
+type HistogramSnapshot struct {
+	Counts  []uint64 `json:"counts"`
+	Total   uint64   `json:"total"`
+	P50Usec uint64   `json:"p50_us"`
+	P95Usec uint64   `json:"p95_us"`
+	P99Usec uint64   `json:"p99_us"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Counts: make([]uint64, histBuckets)}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Total += s.Counts[i]
+	}
+	s.P50Usec = s.quantile(0.50)
+	s.P95Usec = s.quantile(0.95)
+	s.P99Usec = s.quantile(0.99)
+	return s
+}
+
+// quantile returns the upper bound (in µs) of the bucket containing the
+// q-th quantile.
+func (s HistogramSnapshot) quantile(q float64) uint64 {
+	if s.Total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			return uint64(1) << uint(i)
+		}
+	}
+	return uint64(1) << (histBuckets - 1)
+}
+
+// Metrics holds the service's atomic counters. All fields are safe for
+// concurrent update; Snapshot produces a consistent-enough JSON view
+// (counters are read individually, not under a global lock).
+type Metrics struct {
+	requests [epCount]atomic.Uint64
+	errors   [epCount]atomic.Uint64
+	latency  [epCount]histogram
+
+	observations     atomic.Uint64
+	predictions      atomic.Uint64
+	snapshotsWritten atomic.Uint64
+}
+
+func (m *Metrics) record(ep endpoint, status int, d time.Duration) {
+	m.requests[ep].Add(1)
+	if status >= 400 {
+		m.errors[ep].Add(1)
+	}
+	m.latency[ep].record(d)
+}
+
+// EndpointSnapshot is one endpoint's counters.
+type EndpointSnapshot struct {
+	Name     string            `json:"name"`
+	Requests uint64            `json:"requests"`
+	Errors   uint64            `json:"errors"`
+	Latency  HistogramSnapshot `json:"latency"`
+}
+
+// MetricsSnapshot is the JSON view served by /v1/stats and /debug/vars.
+type MetricsSnapshot struct {
+	Observations     uint64             `json:"observations"`
+	Predictions      uint64             `json:"predictions"`
+	SnapshotsWritten uint64             `json:"snapshots_written"`
+	Endpoints        []EndpointSnapshot `json:"endpoints"`
+}
+
+// Snapshot captures the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Observations:     m.observations.Load(),
+		Predictions:      m.predictions.Load(),
+		SnapshotsWritten: m.snapshotsWritten.Load(),
+	}
+	for ep := endpoint(0); ep < epCount; ep++ {
+		s.Endpoints = append(s.Endpoints, EndpointSnapshot{
+			Name:     endpointNames[ep],
+			Requests: m.requests[ep].Load(),
+			Errors:   m.errors[ep].Load(),
+			Latency:  m.latency[ep].snapshot(),
+		})
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package predsvc
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is the sharded in-memory path → Session map. Paths hash onto a
+// power-of-two number of shards; each shard is guarded by its own RWMutex
+// and evicts its least-recently-used session when it reaches its share of
+// the configured capacity. Sessions serialize their own predictor state,
+// so registry locks are held only for map/recency bookkeeping, never
+// across prediction work.
+type Registry struct {
+	cfg       Config
+	shards    []*shard
+	mask      uint64
+	evictions atomic.Uint64
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	capacity int
+	elems    map[string]*list.Element // path → element in lru
+	lru      *list.List               // front = most recently used
+}
+
+// NewRegistry builds a registry from cfg (zero value: defaults).
+func NewRegistry(cfg Config) *Registry {
+	cfg = cfg.withDefaults()
+	perShard := cfg.Capacity / cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	r := &Registry{cfg: cfg, mask: uint64(cfg.Shards - 1)}
+	r.shards = make([]*shard, cfg.Shards)
+	for i := range r.shards {
+		r.shards[i] = &shard{
+			capacity: perShard,
+			elems:    make(map[string]*list.Element),
+			lru:      list.New(),
+		}
+	}
+	return r
+}
+
+// Config returns the effective (defaulted) configuration.
+func (r *Registry) Config() Config { return r.cfg }
+
+// Shards returns the shard count (a power of two).
+func (r *Registry) Shards() int { return len(r.shards) }
+
+// Capacity returns the registry-wide session capacity actually enforced
+// (per-shard capacity × shard count).
+func (r *Registry) Capacity() int { return r.shards[0].capacity * len(r.shards) }
+
+func (r *Registry) shardFor(path string) *shard {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	return r.shards[h.Sum64()&r.mask]
+}
+
+// GetOrCreate returns the session for path, creating it (and possibly
+// evicting the shard's least-recently-used session) if absent. The
+// returned session is marked most recently used.
+func (r *Registry) GetOrCreate(path string) *Session {
+	sh := r.shardFor(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.elems[path]; ok {
+		sh.lru.MoveToFront(e)
+		return e.Value.(*Session)
+	}
+	for sh.lru.Len() >= sh.capacity {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.elems, oldest.Value.(*Session).path)
+		r.evictions.Add(1)
+	}
+	s := newSession(path, r.cfg)
+	sh.elems[path] = sh.lru.PushFront(s)
+	return s
+}
+
+// Lookup returns the session for path if present, marking it most
+// recently used.
+func (r *Registry) Lookup(path string) (*Session, bool) {
+	sh := r.shardFor(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.elems[path]
+	if !ok {
+		return nil, false
+	}
+	sh.lru.MoveToFront(e)
+	return e.Value.(*Session), true
+}
+
+// Peek returns the session for path without touching recency (shared
+// lock only) — for stats and snapshots.
+func (r *Registry) Peek(path string) (*Session, bool) {
+	sh := r.shardFor(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.elems[path]
+	if !ok {
+		return nil, false
+	}
+	return e.Value.(*Session), true
+}
+
+// Len returns the number of registered paths.
+func (r *Registry) Len() int {
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		n += len(sh.elems)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Evictions returns the number of LRU evictions since construction.
+func (r *Registry) Evictions() uint64 { return r.evictions.Load() }
+
+// Paths returns all registered path names, sorted.
+func (r *Registry) Paths() []string {
+	var out []string
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for p := range sh.elems {
+			out = append(out, p)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// forEachLRU visits every session shard by shard, least recently used
+// first within each shard, without touching recency. fn runs outside the
+// shard lock's critical path for session state (sessions self-lock).
+func (r *Registry) forEachLRU(fn func(*Session)) {
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		sessions := make([]*Session, 0, sh.lru.Len())
+		for e := sh.lru.Back(); e != nil; e = e.Prev() {
+			sessions = append(sessions, e.Value.(*Session))
+		}
+		sh.mu.RUnlock()
+		for _, s := range sessions {
+			fn(s)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package predsvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/predict"
+)
+
+// Server wires a Registry and Metrics behind the HTTP JSON API:
+//
+//	POST /v1/observe   {"path", "throughput_bps"}            → feed a transfer's achieved throughput
+//	POST /v1/measure   {"path", "rtt_s", "loss_rate", "avail_bw_bps"} → install a-priori measurements
+//	GET  /v1/predict?path=P                                  → forecasts + accuracy + best predictor
+//	GET  /v1/stats[?path=P]                                  → service (or per-path) statistics
+//	GET  /debug/vars                                         → expvar-style metrics dump
+//
+// Handlers are goroutine-safe; /v1/predict responses are byte-identical
+// for a fixed per-path request sequence (see the package comment).
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	metrics *Metrics
+	mux     *http.ServeMux
+	start   time.Time
+}
+
+// NewServer builds a server with a fresh registry.
+func NewServer(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		reg:     NewRegistry(cfg),
+		metrics: &Metrics{},
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.mux.Handle("POST /v1/observe", s.instrument(epObserve, s.handleObserve))
+	s.mux.Handle("POST /v1/measure", s.instrument(epMeasure, s.handleMeasure))
+	s.mux.Handle("GET /v1/predict", s.instrument(epPredict, s.handlePredict))
+	s.mux.Handle("GET /v1/stats", s.instrument(epStats, s.handleStats))
+	s.mux.Handle("GET /debug/vars", s.instrument(epVars, s.handleVars))
+	return s
+}
+
+// Registry exposes the underlying path registry.
+func (r *Server) Registry() *Registry { return r.reg }
+
+// Metrics exposes the server's counters.
+func (r *Server) Metrics() *Metrics { return r.metrics }
+
+// Handler returns the HTTP handler serving the API.
+func (r *Server) Handler() http.Handler { return r.mux }
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts the
+// HTTP server down gracefully (in-flight requests get up to 5 s), mirroring
+// the context discipline of internal/campaign: cancellation is the normal
+// way to stop, and a clean shutdown returns nil.
+func (r *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: r.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := srv.Shutdown(shutdownCtx)
+		<-errc // always http.ErrServerClosed after Shutdown
+		return err
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// SnapshotLoop writes a registry snapshot to path every interval until ctx
+// is cancelled, then writes one final snapshot. Write failures are
+// returned immediately.
+func (r *Server) SnapshotLoop(ctx context.Context, path string, interval time.Duration) error {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return r.WriteSnapshot(path)
+		case <-t.C:
+			if err := r.WriteSnapshot(path); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// WriteSnapshot atomically persists the registry to path.
+func (r *Server) WriteSnapshot(path string) error {
+	if err := WriteSnapshotFile(path, r.reg.Snapshot()); err != nil {
+		return err
+	}
+	r.metrics.snapshotsWritten.Add(1)
+	return nil
+}
+
+// RestoreSnapshot loads a snapshot file into the registry, returning the
+// number of paths restored. A missing file is not an error (0, nil).
+func (r *Server) RestoreSnapshot(path string) (int, error) {
+	snap, err := ReadSnapshotFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return r.reg.Restore(snap)
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// handlerFunc processes one request and returns the HTTP status written.
+type handlerFunc func(w http.ResponseWriter, req *http.Request) int
+
+// instrument wraps a handler with request/error/latency accounting.
+func (r *Server) instrument(ep endpoint, h handlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		status := h(w, req)
+		r.metrics.record(ep, status, time.Since(start))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+	w.Write([]byte("\n"))
+	return status
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) int {
+	return writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds request bodies; observations are tiny.
+const maxBodyBytes = 1 << 20
+
+func decodeBody(w http.ResponseWriter, req *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+	return dec.Decode(v)
+}
+
+// ObserveRequest feeds one transfer's achieved throughput on a path.
+type ObserveRequest struct {
+	Path          string  `json:"path"`
+	ThroughputBps float64 `json:"throughput_bps"`
+}
+
+// ObserveResponse acknowledges an observation.
+type ObserveResponse struct {
+	Path         string `json:"path"`
+	Observations uint64 `json:"observations"`
+}
+
+func (r *Server) handleObserve(w http.ResponseWriter, req *http.Request) int {
+	var body ObserveRequest
+	if err := decodeBody(w, req, &body); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	if body.Path == "" {
+		return writeError(w, http.StatusBadRequest, "missing path")
+	}
+	if body.ThroughputBps <= 0 || math.IsInf(body.ThroughputBps, 0) || math.IsNaN(body.ThroughputBps) {
+		return writeError(w, http.StatusBadRequest, "throughput_bps must be finite and positive")
+	}
+	n := r.reg.GetOrCreate(body.Path).Observe(body.ThroughputBps)
+	r.metrics.observations.Add(1)
+	return writeJSON(w, http.StatusOK, ObserveResponse{Path: body.Path, Observations: n})
+}
+
+// MeasureRequest installs fresh a-priori measurements for a path.
+type MeasureRequest struct {
+	Path       string  `json:"path"`
+	RTTSeconds float64 `json:"rtt_s"`
+	LossRate   float64 `json:"loss_rate"`
+	AvailBwBps float64 `json:"avail_bw_bps"`
+}
+
+// MeasureResponse returns the FB forecast for the installed measurements.
+type MeasureResponse struct {
+	Path        string  `json:"path"`
+	ForecastBps float64 `json:"forecast_bps"`
+}
+
+func (r *Server) handleMeasure(w http.ResponseWriter, req *http.Request) int {
+	var body MeasureRequest
+	if err := decodeBody(w, req, &body); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	if body.Path == "" {
+		return writeError(w, http.StatusBadRequest, "missing path")
+	}
+	if body.RTTSeconds < 0 || body.LossRate < 0 || body.LossRate > 1 || body.AvailBwBps < 0 {
+		return writeError(w, http.StatusBadRequest, "measurements out of range")
+	}
+	f := r.reg.GetOrCreate(body.Path).SetMeasurement(predict.FBInputs{
+		RTT:      body.RTTSeconds,
+		LossRate: body.LossRate,
+		AvailBw:  body.AvailBwBps,
+	})
+	return writeJSON(w, http.StatusOK, MeasureResponse{Path: body.Path, ForecastBps: f})
+}
+
+func (r *Server) handlePredict(w http.ResponseWriter, req *http.Request) int {
+	path := req.URL.Query().Get("path")
+	if path == "" {
+		return writeError(w, http.StatusBadRequest, "missing path query parameter")
+	}
+	sess, ok := r.reg.Lookup(path)
+	if !ok {
+		return writeError(w, http.StatusNotFound, "unknown path %q", path)
+	}
+	r.metrics.predictions.Add(1)
+	return writeJSON(w, http.StatusOK, sess.Predict())
+}
+
+// StatsResponse is the service-wide statistics payload.
+type StatsResponse struct {
+	UptimeSeconds float64         `json:"uptime_s"`
+	Paths         int             `json:"paths"`
+	Capacity      int             `json:"capacity"`
+	Shards        int             `json:"shards"`
+	Evictions     uint64          `json:"evictions"`
+	Goroutines    int             `json:"goroutines"`
+	Metrics       MetricsSnapshot `json:"metrics"`
+}
+
+func (r *Server) handleStats(w http.ResponseWriter, req *http.Request) int {
+	if path := req.URL.Query().Get("path"); path != "" {
+		sess, ok := r.reg.Peek(path)
+		if !ok {
+			return writeError(w, http.StatusNotFound, "unknown path %q", path)
+		}
+		return writeJSON(w, http.StatusOK, sess.Predict())
+	}
+	return writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Paths:         r.reg.Len(),
+		Capacity:      r.reg.Capacity(),
+		Shards:        r.reg.Shards(),
+		Evictions:     r.reg.Evictions(),
+		Goroutines:    runtime.NumGoroutine(),
+		Metrics:       r.metrics.Snapshot(),
+	})
+}
+
+// handleVars serves an expvar-style JSON dump of the service counters and
+// a few runtime memory statistics, without registering anything in the
+// global expvar namespace (so many servers can coexist in one process).
+func (r *Server) handleVars(w http.ResponseWriter, req *http.Request) int {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"predsvc": map[string]any{
+			"paths":     r.reg.Len(),
+			"evictions": r.reg.Evictions(),
+			"metrics":   r.metrics.Snapshot(),
+		},
+		"memstats": map[string]any{
+			"heap_alloc":   ms.HeapAlloc,
+			"heap_objects": ms.HeapObjects,
+			"num_gc":       ms.NumGC,
+		},
+	})
+}

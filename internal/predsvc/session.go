@@ -1,0 +1,325 @@
+package predsvc
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/predict"
+	"repro/internal/stats"
+)
+
+// Session is the goroutine-safe per-path predictor state: the HB ensemble,
+// the FB predictor with its latest a-priori measurements, and a rolling
+// error window per predictor. All methods may be called concurrently; a
+// single mutex serializes access to the whole ensemble, which is required
+// because the predict.HB implementations themselves are not goroutine-safe.
+//
+// The accuracy bookkeeping follows the paper's protocol exactly: when a
+// new throughput observation X arrives, each predictor's standing forecast
+// X̂ (made before seeing X) is scored with the relative error
+// E = (X̂-X)/min(X̂,X) (Eq. 4), and only then is X fed to the predictors.
+type Session struct {
+	mu   sync.Mutex
+	path string
+	cfg  Config
+
+	hbs   []predict.HB
+	hbErr []*errWindow
+
+	fb    *predict.FB
+	fbIn  predict.FBInputs
+	hasFB bool
+	fbErr *errWindow
+
+	observations uint64
+	history      []float64 // recent raw observations, for snapshot/restore
+}
+
+func newSession(path string, cfg Config) *Session {
+	wrap := func(p predict.HB) predict.HB {
+		if cfg.DisableLSO {
+			return p
+		}
+		return predict.NewLSO(p, cfg.LSO)
+	}
+	s := &Session{
+		path: path,
+		cfg:  cfg,
+		hbs: []predict.HB{
+			wrap(predict.NewMA(cfg.MAOrder)),
+			wrap(predict.NewEWMA(cfg.EWMAAlpha)),
+			wrap(predict.NewHoltWinters(cfg.HWAlpha, cfg.HWBeta)),
+		},
+		fb:    predict.NewFB(cfg.FB),
+		fbErr: newErrWindow(cfg.ErrorWindow),
+	}
+	s.hbErr = make([]*errWindow, len(s.hbs))
+	for i := range s.hbErr {
+		s.hbErr[i] = newErrWindow(cfg.ErrorWindow)
+	}
+	return s
+}
+
+// Path returns the path name the session serves.
+func (s *Session) Path() string { return s.path }
+
+// Observe feeds the throughput (bits/s) achieved by the latest transfer on
+// the path: every predictor's standing forecast is scored against it, then
+// the HB ensemble absorbs it. It returns the new observation count.
+func (s *Session) Observe(throughputBps float64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observeLocked(throughputBps)
+	return s.observations
+}
+
+func (s *Session) observeLocked(x float64) {
+	for i, hb := range s.hbs {
+		if f, ok := hb.Predict(); ok {
+			s.hbErr[i].push(stats.RelativeError(f, x))
+		}
+	}
+	if s.hasFB {
+		if f := s.fb.Predict(s.fbIn); f > 0 {
+			s.fbErr.push(stats.RelativeError(f, x))
+		}
+	}
+	for _, hb := range s.hbs {
+		hb.Observe(x)
+	}
+	s.observations++
+	s.history = append(s.history, x)
+	if len(s.history) >= 2*s.cfg.HistoryLimit {
+		keep := s.history[len(s.history)-s.cfg.HistoryLimit:]
+		s.history = append(s.history[:0], keep...)
+	}
+}
+
+// SetMeasurement installs fresh a-priori path measurements (T̂, p̂, Â) for
+// the FB predictor and returns its forecast for them (0 when the inputs
+// give no basis for prediction).
+func (s *Session) SetMeasurement(in predict.FBInputs) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fbIn = in
+	s.hasFB = true
+	return s.fb.Predict(in)
+}
+
+// PredictorState reports one ensemble member's standing forecast and
+// rolling accuracy.
+type PredictorState struct {
+	Name        string  `json:"name"`
+	Ready       bool    `json:"ready"`
+	ForecastBps float64 `json:"forecast_bps"`
+	RMSRE       float64 `json:"rmsre"`
+	ErrorCount  int     `json:"error_count"`
+}
+
+// FBState reports the formula-based side: the latest installed
+// measurements, the forecast they produce, and its rolling accuracy.
+type FBState struct {
+	RTTSeconds  float64 `json:"rtt_s"`
+	LossRate    float64 `json:"loss_rate"`
+	AvailBwBps  float64 `json:"avail_bw_bps"`
+	ForecastBps float64 `json:"forecast_bps"`
+	RMSRE       float64 `json:"rmsre"`
+	ErrorCount  int     `json:"error_count"`
+}
+
+// Prediction is the full answer for one path: every predictor's forecast
+// and accuracy, plus the best predictor right now (lowest rolling RMSRE
+// among predictors with at least MinErrors scored forecasts; ties break
+// toward the ensemble order MA, EWMA, HW, FB).
+type Prediction struct {
+	Path            string           `json:"path"`
+	Observations    uint64           `json:"observations"`
+	Best            string           `json:"best,omitempty"`
+	BestForecastBps float64          `json:"best_forecast_bps,omitempty"`
+	HB              []PredictorState `json:"hb"`
+	FB              *FBState         `json:"fb,omitempty"`
+}
+
+// Predict returns the current forecasts and accuracy for the path. It is
+// deterministic: the response depends only on the sequence of Observe and
+// SetMeasurement calls the session has absorbed.
+func (s *Session) Predict() Prediction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	p := Prediction{Path: s.path, Observations: s.observations}
+	for i, hb := range s.hbs {
+		f, ok := hb.Predict()
+		st := PredictorState{Name: hb.Name(), Ready: ok, ForecastBps: f}
+		st.RMSRE, _ = s.hbErr[i].rmsre(s.cfg.ErrClamp)
+		st.ErrorCount = s.hbErr[i].count()
+		p.HB = append(p.HB, st)
+	}
+	if s.hasFB {
+		f := s.fb.Predict(s.fbIn)
+		fbState := &FBState{
+			RTTSeconds:  s.fbIn.RTT,
+			LossRate:    s.fbIn.LossRate,
+			AvailBwBps:  s.fbIn.AvailBw,
+			ForecastBps: f,
+			ErrorCount:  s.fbErr.count(),
+		}
+		fbState.RMSRE, _ = s.fbErr.rmsre(s.cfg.ErrClamp)
+		p.FB = fbState
+	}
+	p.Best, p.BestForecastBps = s.bestLocked(p)
+	return p
+}
+
+// bestLocked picks the best predictor from an assembled Prediction:
+// lowest rolling RMSRE among qualified candidates, falling back to the
+// first ready HB member and then to the FB forecast.
+func (s *Session) bestLocked(p Prediction) (string, float64) {
+	bestName, bestForecast := "", 0.0
+	bestRMSRE := math.Inf(1)
+	consider := func(name string, forecast, rmsre float64, n int, ready bool) {
+		if !ready || n < s.cfg.MinErrors || forecast <= 0 {
+			return
+		}
+		if rmsre < bestRMSRE {
+			bestName, bestForecast, bestRMSRE = name, forecast, rmsre
+		}
+	}
+	for _, st := range p.HB {
+		consider(st.Name, st.ForecastBps, st.RMSRE, st.ErrorCount, st.Ready)
+	}
+	if p.FB != nil {
+		consider("FB", p.FB.ForecastBps, p.FB.RMSRE, p.FB.ErrorCount, p.FB.ForecastBps > 0)
+	}
+	if bestName != "" {
+		return bestName, bestForecast
+	}
+	// Warm-up fallbacks: any ready HB forecast, then the FB forecast.
+	for _, st := range p.HB {
+		if st.Ready && st.ForecastBps > 0 {
+			return st.Name, st.ForecastBps
+		}
+	}
+	if p.FB != nil && p.FB.ForecastBps > 0 {
+		return "FB", p.FB.ForecastBps
+	}
+	return "", 0
+}
+
+// snapshot captures the replayable state of the session.
+func (s *Session) snapshot() PathSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist := s.history
+	if len(hist) > s.cfg.HistoryLimit {
+		hist = hist[len(hist)-s.cfg.HistoryLimit:]
+	}
+	ps := PathSnapshot{
+		Path:         s.path,
+		Observations: s.observations,
+		History:      append([]float64(nil), hist...),
+		FBErrors:     s.fbErr.chronological(),
+	}
+	for _, w := range s.hbErr {
+		ps.HBErrors = append(ps.HBErrors, w.chronological())
+	}
+	if s.hasFB {
+		ps.FBInputs = &FBInputsSnapshot{
+			RTTSeconds: s.fbIn.RTT,
+			LossRate:   s.fbIn.LossRate,
+			AvailBwBps: s.fbIn.AvailBw,
+		}
+	}
+	return ps
+}
+
+// restore replays a snapshot into the session. Predictors with bounded
+// memory (MA, windowed LSO) restore exactly when the snapshot history
+// covers their window; EWMA/HW restore approximately (their infinite tail
+// beyond HistoryLimit observations is dropped), which the snapshot format
+// documents as acceptable for a cache-like registry.
+func (s *Session) restore(ps PathSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, x := range ps.History {
+		s.observeLocked(x)
+	}
+	// The error windows carry accuracy the replay cannot reconstruct
+	// (observations older than the history, FB scores against bygone
+	// measurements): reinstall them verbatim when the ensemble matches.
+	if len(ps.HBErrors) == len(s.hbErr) {
+		for i, errs := range ps.HBErrors {
+			s.hbErr[i] = windowFromErrors(errs, s.cfg.ErrorWindow)
+		}
+		s.fbErr = windowFromErrors(ps.FBErrors, s.cfg.ErrorWindow)
+	}
+	if ps.FBInputs != nil {
+		s.fbIn = predict.FBInputs{
+			RTT:      ps.FBInputs.RTTSeconds,
+			LossRate: ps.FBInputs.LossRate,
+			AvailBw:  ps.FBInputs.AvailBwBps,
+		}
+		s.hasFB = true
+	}
+	if ps.Observations > s.observations {
+		s.observations = ps.Observations
+	}
+}
+
+// errWindow is a fixed-size ring of the most recent relative errors.
+type errWindow struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+func newErrWindow(n int) *errWindow {
+	return &errWindow{buf: make([]float64, 0, n)}
+}
+
+// windowFromErrors rebuilds a window from serialized errors, keeping the
+// most recent cap entries.
+func windowFromErrors(errs []float64, capacity int) *errWindow {
+	w := newErrWindow(capacity)
+	if len(errs) > capacity {
+		errs = errs[len(errs)-capacity:]
+	}
+	for _, e := range errs {
+		w.push(e)
+	}
+	return w
+}
+
+func (w *errWindow) push(e float64) {
+	if !w.full && len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, e)
+		if len(w.buf) == cap(w.buf) {
+			w.full = true
+		}
+		return
+	}
+	w.buf[w.next] = e
+	w.next = (w.next + 1) % len(w.buf)
+}
+
+func (w *errWindow) count() int { return len(w.buf) }
+
+// chronological returns the retained errors oldest first (the ring is
+// unrolled), so a restored window keeps evicting in the original order.
+func (w *errWindow) chronological() []float64 {
+	out := make([]float64, 0, len(w.buf))
+	if w.full {
+		out = append(out, w.buf[w.next:]...)
+		return append(out, w.buf[:w.next]...)
+	}
+	return append(out, w.buf...)
+}
+
+// rmsre returns the rolling RMSRE (paper Eq. 5) with |E| clamped at clamp;
+// ok is false when no errors have been recorded yet.
+func (w *errWindow) rmsre(clamp float64) (float64, bool) {
+	if len(w.buf) == 0 {
+		return 0, false
+	}
+	return stats.RMSRE(w.buf, clamp), true
+}

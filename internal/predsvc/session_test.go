@@ -1,0 +1,185 @@
+package predsvc
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/predict"
+	"repro/internal/stats"
+)
+
+func testConfig() Config {
+	return Config{Shards: 1, Capacity: 16}.withDefaults()
+}
+
+func TestSessionAccuracyBookkeeping(t *testing.T) {
+	s := newSession("p", testConfig())
+	series := []float64{10e6, 12e6, 11e6, 13e6, 12e6, 12.5e6}
+	for _, x := range series {
+		s.Observe(x)
+	}
+	p := s.Predict()
+	if p.Observations != uint64(len(series)) {
+		t.Fatalf("Observations = %d, want %d", p.Observations, len(series))
+	}
+	if len(p.HB) != 3 {
+		t.Fatalf("ensemble size = %d, want 3 (MA, EWMA, HW)", len(p.HB))
+	}
+	for _, st := range p.HB {
+		if !st.Ready {
+			t.Errorf("%s not ready after %d observations", st.Name, len(series))
+		}
+		// First observation yields no standing forecast, so n-1 errors.
+		if st.ErrorCount != len(series)-1 {
+			t.Errorf("%s ErrorCount = %d, want %d", st.Name, st.ErrorCount, len(series)-1)
+		}
+		if st.RMSRE <= 0 {
+			t.Errorf("%s RMSRE = %v, want > 0 on a noisy series", st.Name, st.RMSRE)
+		}
+	}
+	if p.Best == "" || p.BestForecastBps <= 0 {
+		t.Fatalf("no best predictor selected: %+v", p)
+	}
+	// Best must be the minimum-RMSRE qualified candidate.
+	bestRMSRE := math.Inf(1)
+	for _, st := range p.HB {
+		if st.ErrorCount >= s.cfg.MinErrors && st.RMSRE < bestRMSRE {
+			bestRMSRE = st.RMSRE
+		}
+	}
+	for _, st := range p.HB {
+		if st.Name == p.Best && st.RMSRE != bestRMSRE {
+			t.Errorf("best %s has RMSRE %v, but minimum is %v", p.Best, st.RMSRE, bestRMSRE)
+		}
+	}
+}
+
+func TestSessionFBSide(t *testing.T) {
+	s := newSession("p", testConfig())
+	in := predict.FBInputs{RTT: 0.05, LossRate: 0.01, AvailBw: 20e6}
+	f := s.SetMeasurement(in)
+	if f <= 0 {
+		t.Fatalf("FB forecast = %v, want > 0 for lossy inputs", f)
+	}
+	want := predict.NewFB(predict.FBConfig{}).Predict(in)
+	if f != want {
+		t.Errorf("FB forecast = %v, want %v (same as raw predictor)", f, want)
+	}
+	// The FB forecast standing when an observation arrives is scored.
+	s.Observe(f * 2)
+	p := s.Predict()
+	if p.FB == nil {
+		t.Fatal("Prediction.FB missing after SetMeasurement")
+	}
+	if p.FB.ErrorCount != 1 {
+		t.Errorf("FB ErrorCount = %d, want 1", p.FB.ErrorCount)
+	}
+	// Over-estimation by 2× ⇒ |E| = 1 (Eq. 4).
+	if got := p.FB.RMSRE; math.Abs(got-1) > 1e-9 {
+		t.Errorf("FB RMSRE = %v, want 1", got)
+	}
+}
+
+func TestSessionErrorMatchesEq4(t *testing.T) {
+	cfg := testConfig()
+	cfg.DisableLSO = true
+	cfg = cfg.withDefaults()
+	s := newSession("p", cfg)
+	s.Observe(10e6)
+	s.Observe(20e6)
+	p := s.Predict()
+	// EWMA forecast before the 2nd observation was 10e6; the MA(10)
+	// forecast was also 10e6. E = (10e6-20e6)/10e6 = -1 ⇒ RMSRE 1.
+	for _, st := range p.HB[:2] {
+		if math.Abs(st.RMSRE-1) > 1e-9 {
+			t.Errorf("%s RMSRE = %v, want 1 (single Eq.4 error of -1)", st.Name, st.RMSRE)
+		}
+	}
+	if e := stats.RelativeError(10e6, 20e6); e != -1 {
+		t.Fatalf("sanity: RelativeError = %v, want -1", e)
+	}
+}
+
+func TestSessionDeterminism(t *testing.T) {
+	series := SyntheticSeries(1, 60, 99)[0]
+	run := func() ([]byte, Prediction) {
+		s := newSession("p", testConfig())
+		for i, x := range series.Throughputs {
+			s.SetMeasurement(series.Inputs[i])
+			s.Observe(x)
+		}
+		p := s.Predict()
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data, p
+	}
+	b1, p1 := run()
+	b2, p2 := run()
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("predictions differ across identical replays:\n%+v\n%+v", p1, p2)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("JSON bodies differ across identical replays:\n%s\n%s", b1, b2)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	cfg := Config{Shards: 2, Capacity: 32}
+	reg := NewRegistry(cfg)
+	series := SyntheticSeries(5, 40, 7) // well under HistoryLimit
+	for _, ps := range series {
+		s := reg.GetOrCreate(ps.Path)
+		for i, x := range ps.Throughputs {
+			s.SetMeasurement(ps.Inputs[i])
+			s.Observe(x)
+		}
+	}
+	snap := reg.Snapshot()
+	if len(snap.Paths) != len(series) {
+		t.Fatalf("snapshot has %d paths, want %d", len(snap.Paths), len(series))
+	}
+
+	reg2 := NewRegistry(cfg)
+	n, err := reg2.Restore(snap)
+	if err != nil || n != len(series) {
+		t.Fatalf("Restore = (%d, %v), want (%d, nil)", n, err, len(series))
+	}
+	for _, ps := range series {
+		s1, _ := reg.Peek(ps.Path)
+		s2, ok := reg2.Peek(ps.Path)
+		if !ok {
+			t.Fatalf("path %s missing after restore", ps.Path)
+		}
+		b1, _ := json.Marshal(s1.Predict())
+		b2, _ := json.Marshal(s2.Predict())
+		if string(b1) != string(b2) {
+			t.Errorf("%s: restored prediction differs\n%s\n%s", ps.Path, b1, b2)
+		}
+	}
+
+	// Version mismatch is rejected.
+	bad := &Snapshot{Version: 99}
+	if _, err := NewRegistry(cfg).Restore(bad); err == nil {
+		t.Error("Restore accepted a bad snapshot version")
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	reg := NewRegistry(Config{Shards: 1, Capacity: 8})
+	reg.GetOrCreate("x").Observe(5e6)
+	file := t.TempDir() + "/snap.json"
+	if err := WriteSnapshotFile(file, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshotFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Paths) != 1 || snap.Paths[0].Path != "x" {
+		t.Fatalf("unexpected snapshot content: %+v", snap)
+	}
+}

@@ -1,0 +1,105 @@
+package predsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FBInputsSnapshot is the serialized form of the latest a-priori
+// measurements installed on a path.
+type FBInputsSnapshot struct {
+	RTTSeconds float64 `json:"rtt_s"`
+	LossRate   float64 `json:"loss_rate"`
+	AvailBwBps float64 `json:"avail_bw_bps"`
+}
+
+// PathSnapshot is one path's replayable state: the retained raw
+// observation history (bounded by Config.HistoryLimit), the lifetime
+// observation count, the latest FB measurements, and the rolling error
+// windows of every predictor (which cannot be rebuilt from history alone —
+// FB errors depend on measurements that are not retained per epoch).
+type PathSnapshot struct {
+	Path         string            `json:"path"`
+	Observations uint64            `json:"observations"`
+	History      []float64         `json:"history"`
+	FBInputs     *FBInputsSnapshot `json:"fb_inputs,omitempty"`
+	HBErrors     [][]float64       `json:"hb_errors,omitempty"`
+	FBErrors     []float64         `json:"fb_errors,omitempty"`
+}
+
+// Snapshot is the serialized registry: every session's replayable state,
+// shard by shard, least recently used first — so restoring in file order
+// into an equally-sharded registry reproduces each shard's recency order.
+//
+// Restore replays each path's history through a fresh session. Predictors
+// whose memory fits in HistoryLimit observations (MA, LSO windows) come
+// back exactly; EWMA and Holt-Winters come back with their influence from
+// observations older than the retained history dropped, which is the
+// documented approximation for this cache-like registry.
+type Snapshot struct {
+	Version int            `json:"version"`
+	Paths   []PathSnapshot `json:"paths"`
+}
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// Snapshot captures the replayable state of every session.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{Version: snapshotVersion}
+	r.forEachLRU(func(s *Session) {
+		snap.Paths = append(snap.Paths, s.snapshot())
+	})
+	return snap
+}
+
+// Restore replays snap into the registry (intended for a freshly built
+// one) and returns the number of paths restored. Paths beyond capacity
+// evict exactly as live traffic would.
+func (r *Registry) Restore(snap *Snapshot) (int, error) {
+	if snap.Version != snapshotVersion {
+		return 0, fmt.Errorf("predsvc: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	for _, ps := range snap.Paths {
+		r.GetOrCreate(ps.Path).restore(ps)
+	}
+	return len(snap.Paths), nil
+}
+
+// WriteSnapshotFile atomically writes snap to path (temp file + rename in
+// the destination directory).
+func WriteSnapshotFile(path string, snap *Snapshot) error {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("predsvc: marshal snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".predsvc-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadSnapshotFile loads a snapshot written by WriteSnapshotFile.
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("predsvc: parse snapshot %s: %w", path, err)
+	}
+	return &snap, nil
+}

@@ -24,4 +24,10 @@ go build ./...
 echo "==> go test -race -short"
 go test -race -short ./...
 
+# The short suite above already includes this, but run it by name so a
+# test-filter or skip regression can't silently drop the end-to-end gate:
+# real daemon on an ephemeral port, driven by the load generator.
+echo "==> prediction-service end-to-end (short)"
+go test -race -short -run 'TestEndToEnd' -count=1 ./internal/predsvc
+
 echo "OK"

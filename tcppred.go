@@ -32,6 +32,7 @@ import (
 	"repro/internal/iperf"
 	"repro/internal/netem"
 	"repro/internal/predict"
+	"repro/internal/predsvc"
 	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/tcpmodel"
@@ -174,6 +175,39 @@ func NewProgressObserver(w io.Writer) Observer { return campaign.NewProgress(w) 
 // NewJSONLObserver returns an Observer that emits one JSON object per
 // campaign event to w, for machine consumption.
 func NewJSONLObserver(w io.Writer) Observer { return campaign.NewJSONL(w) }
+
+// ServiceConfig tunes the online prediction service: registry sharding and
+// LRU capacity, the per-path HB ensemble, and the rolling accuracy
+// windows. The zero value picks the paper-informed defaults.
+type ServiceConfig = predsvc.Config
+
+// PathRegistry is the concurrent, sharded path → predictor-session map at
+// the heart of the serving layer: power-of-two shards, per-shard RWMutex,
+// LRU eviction at capacity.
+type PathRegistry = predsvc.Registry
+
+// PredictorSession is the goroutine-safe per-path predictor state: the HB
+// ensemble (MA/EWMA/Holt-Winters, LSO-wrapped by default), the FB
+// predictor with its latest measurements, and rolling Eq. 4/RMSRE
+// accuracy statistics.
+type PredictorSession = predsvc.Session
+
+// Prediction is the service's full per-path answer: every predictor's
+// forecast and rolling accuracy plus the best predictor right now.
+type Prediction = predsvc.Prediction
+
+// PredictionServer serves the registry over the HTTP JSON API
+// (POST /v1/observe, POST /v1/measure, GET /v1/predict, GET /v1/stats,
+// GET /debug/vars) with graceful context-driven shutdown; cmd/predserverd
+// is its daemon wrapper and cmd/predload its load generator.
+type PredictionServer = predsvc.Server
+
+// NewPathRegistry returns a sharded LRU path registry.
+func NewPathRegistry(cfg ServiceConfig) *PathRegistry { return predsvc.NewRegistry(cfg) }
+
+// NewPredictionServer returns an HTTP prediction server over a fresh
+// registry.
+func NewPredictionServer(cfg ServiceConfig) *PredictionServer { return predsvc.NewServer(cfg) }
 
 // PathSpec describes a simulated bidirectional network path.
 type PathSpec = netem.PathSpec
