@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -81,7 +82,12 @@ func main() {
 		BaseURL: base,
 		Workers: *workers,
 	}, series)
-	if err != nil {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) && rep != nil:
+		// Interrupted (Ctrl-C): the partial stats are still worth printing.
+		log.Printf("predload: interrupted, reporting partial results")
+	default:
 		log.Fatalf("predload: %v", err)
 	}
 	fmt.Println(rep)

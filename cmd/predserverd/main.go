@@ -83,7 +83,12 @@ func main() {
 	if err := <-snapDone; err != nil {
 		log.Fatalf("predserverd: snapshot: %v", err)
 	}
+	// Serve has drained all in-flight requests by now, so this final
+	// snapshot includes observations accepted during the graceful shutdown.
 	if *snapshotPath != "" {
+		if err := srv.WriteSnapshot(*snapshotPath); err != nil {
+			log.Fatalf("predserverd: final snapshot: %v", err)
+		}
 		log.Printf("predserverd: final snapshot written to %s", *snapshotPath)
 	}
 	fmt.Println("predserverd: shut down cleanly")

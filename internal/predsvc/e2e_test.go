@@ -76,6 +76,57 @@ func TestEndToEndDaemonLoad(t *testing.T) {
 	}
 }
 
+// TestReplayReservedCharacterPaths replays series whose path names carry
+// URL-reserved characters — most importantly '#', which SeriesFromDataset
+// puts in every name ("<path>#<trace>") and which http.NewRequest would
+// treat as a fragment delimiter without query escaping. Every predict must
+// hit the session created by the matching observe/measure: zero request
+// errors and every eligible epoch scored.
+func TestReplayReservedCharacterPaths(t *testing.T) {
+	base, stop := startDaemon(t, Config{Shards: 4, Capacity: 64})
+	defer stop()
+
+	names := []string{
+		"ma-bdp#1",
+		"host-a host-b#0",
+		"a&b=c?d#2",
+		"100%loss#3",
+		"src+dst/π#4",
+	}
+	gen := SyntheticSeries(len(names), 20, 5)
+	series := make([]PathSeries, len(names))
+	for i, name := range names {
+		series[i] = gen[i]
+		series[i].Path = name
+	}
+
+	rep, err := Replay(context.Background(), LoadConfig{BaseURL: base, Workers: 3}, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("replay with reserved-char paths had %d request errors (of %d): predict must reach the full path name", rep.Errors, rep.Requests)
+	}
+	// Every epoch has FB inputs, so every epoch's predict should be scored.
+	if want := len(names) * 20; rep.Predictions != want {
+		t.Errorf("Predictions = %d, want %d", rep.Predictions, want)
+	}
+
+	// The daemon must know the paths under their exact names.
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Paths != len(names) {
+		t.Errorf("daemon registered %d paths, want %d (truncated names would collide or multiply)", st.Paths, len(names))
+	}
+}
+
 // TestEndToEndDeterministicDigest replays the same trace against two
 // fresh daemons with different worker counts; the digests must match —
 // byte-identical /v1/predict responses across runs, the ISSUE's

@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"sort"
 	"sync"
 	"time"
@@ -276,7 +277,7 @@ func (lw *loadWorker) epoch(ctx context.Context, ps PathSeries, e int) {
 	// the predict so a pure-HB replay never asks about an unknown path.
 	if hasInputs || e > 0 {
 		var pred Prediction
-		body := lw.get(ctx, "/v1/predict?path="+ps.Path, &pred)
+		body := lw.get(ctx, "/v1/predict?path="+url.QueryEscape(ps.Path), &pred)
 		if body != nil {
 			prev := lw.digests[ps.Path]
 			sum := sha256.Sum256(append([]byte(prev), body...))

@@ -83,15 +83,18 @@ func (r *Server) Serve(ctx context.Context, ln net.Listener) error {
 }
 
 // SnapshotLoop writes a registry snapshot to path every interval until ctx
-// is cancelled, then writes one final snapshot. Write failures are
-// returned immediately.
+// is cancelled, then returns nil without a final write. Serve keeps
+// draining in-flight requests after ctx is cancelled, so callers that want
+// a shutdown snapshot covering that traffic must call WriteSnapshot once
+// Serve has returned (cmd/predserverd does). Write failures are returned
+// immediately.
 func (r *Server) SnapshotLoop(ctx context.Context, path string, interval time.Duration) error {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
-			return r.WriteSnapshot(path)
+			return nil
 		case <-t.C:
 			if err := r.WriteSnapshot(path); err != nil {
 				return err

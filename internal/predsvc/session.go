@@ -76,12 +76,12 @@ func (s *Session) Observe(throughputBps float64) uint64 {
 func (s *Session) observeLocked(x float64) {
 	for i, hb := range s.hbs {
 		if f, ok := hb.Predict(); ok {
-			s.hbErr[i].push(stats.RelativeError(f, x))
+			s.hbErr[i].push(s.clampErr(stats.RelativeError(f, x)))
 		}
 	}
 	if s.hasFB {
 		if f := s.fb.Predict(s.fbIn); f > 0 {
-			s.fbErr.push(stats.RelativeError(f, x))
+			s.fbErr.push(s.clampErr(stats.RelativeError(f, x)))
 		}
 	}
 	for _, hb := range s.hbs {
@@ -93,6 +93,21 @@ func (s *Session) observeLocked(x float64) {
 		keep := s.history[len(s.history)-s.cfg.HistoryLimit:]
 		s.history = append(s.history[:0], keep...)
 	}
+}
+
+// clampErr bounds a relative error before it enters a rolling window.
+// RelativeError is ±Inf when a forecast is non-positive (Holt-Winters can
+// forecast ≤ 0 on a falling series), and the windows are serialized
+// verbatim into JSON snapshots, which cannot represent infinities. With
+// ErrClamp > 0 (the default) this is exactly the clamp RMSRE would apply
+// anyway; with clamping disabled, infinities become ±MaxFloat64, which
+// still square to +Inf in the RMSRE as documented.
+func (s *Session) clampErr(e float64) float64 {
+	clamp := s.cfg.ErrClamp
+	if clamp <= 0 {
+		clamp = math.MaxFloat64
+	}
+	return math.Max(-clamp, math.Min(clamp, e))
 }
 
 // SetMeasurement installs fresh a-priori path measurements (T̂, p̂, Â) for

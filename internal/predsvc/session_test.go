@@ -183,3 +183,32 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 		t.Fatalf("unexpected snapshot content: %+v", snap)
 	}
 }
+
+// TestSnapshotFiniteAfterNonPositiveForecast: Holt-Winters forecasts a
+// negative value after a steep throughput drop, which makes the raw
+// relative error ±Inf. The session must clamp errors before they enter
+// the rolling windows, or the JSON snapshot fails to marshal (json has no
+// representation for infinities) and the daemon's snapshot loop dies.
+func TestSnapshotFiniteAfterNonPositiveForecast(t *testing.T) {
+	reg := NewRegistry(Config{Shards: 1, Capacity: 8})
+	s := reg.GetOrCreate("falling")
+	for _, x := range []float64{1e8, 1e6, 1e4, 1e4, 1e4} {
+		s.Observe(x)
+	}
+	snap := reg.Snapshot()
+	for _, ps := range snap.Paths {
+		for i, errs := range ps.HBErrors {
+			for _, e := range errs {
+				if math.IsInf(e, 0) || math.IsNaN(e) {
+					t.Fatalf("HBErrors[%d] holds non-finite error %v", i, e)
+				}
+			}
+		}
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot with extreme errors does not marshal: %v", err)
+	}
+	if err := WriteSnapshotFile(t.TempDir()+"/snap.json", snap); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+}
