@@ -13,22 +13,34 @@
 //
 // Examples:
 //
+// With -chaos, predload additionally injects client-side faults from a
+// seeded plan — predict requests it aborts mid-flight, slowloris probes
+// that stall inside the request headers, and forced-panic probes
+// (X-Chaos-Panic) that a -chaos daemon converts into recovered 500s — and
+// reports the daemon's resilience counters afterwards. Chaos traffic is
+// read-only, so the digest over the fault-free replay must match a
+// no-chaos run with the same seed.
+//
+// Examples:
+//
 //	predload -addr http://127.0.0.1:8355 -paths 120 -epochs 150
 //	predload -dataset results/dataset.json -workers 32
 //	predload -testbed -seed 7     # simulate a small campaign, then replay it
+//	predload -chaos -chaos-seed 7 # fault-injected run; digest must still match
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
-	"syscall"
-
 	"strings"
+	"syscall"
 
 	"repro/internal/predsvc"
 	"repro/internal/testbed"
@@ -44,6 +56,9 @@ func main() {
 		workers = flag.Int("workers", 16, "concurrent client goroutines")
 		dataset = flag.String("dataset", "", "replay a dataset JSON instead of synthetic series")
 		useTb   = flag.Bool("testbed", false, "simulate a small testbed campaign and replay it")
+
+		chaosMode = flag.Bool("chaos", false, "inject client-side faults (aborted predicts, slowloris probes, forced-panic probes); digest covers only the fault-free replay")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed for -chaos")
 	)
 	flag.Parse()
 
@@ -78,10 +93,15 @@ func main() {
 		log.Printf("predload: replaying %d synthetic paths × %d epochs", *paths, *epochs)
 	}
 
-	rep, err := predsvc.Replay(ctx, predsvc.LoadConfig{
+	lcfg := predsvc.LoadConfig{
 		BaseURL: base,
 		Workers: *workers,
-	}, series)
+	}
+	if *chaosMode {
+		lcfg.Chaos = &predsvc.ChaosConfig{Seed: *chaosSeed}
+		log.Printf("predload: CHAOS MODE (seed %d): injecting client aborts, slowloris probes and panic probes", *chaosSeed)
+	}
+	rep, err := predsvc.Replay(ctx, lcfg, series)
 	switch {
 	case err == nil:
 	case errors.Is(err, context.Canceled) && rep != nil:
@@ -91,7 +111,30 @@ func main() {
 		log.Fatalf("predload: %v", err)
 	}
 	fmt.Println(rep)
+	if *chaosMode {
+		reportServerResilience(base)
+	}
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// reportServerResilience prints the daemon's resilience counters after a
+// chaos run — the acceptance signal that the injected faults were absorbed
+// (panics recovered, load shed, snapshot writes retried) without a crash.
+func reportServerResilience(base string) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Printf("predload: could not fetch server stats after chaos run: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	var st predsvc.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Printf("predload: bad /v1/stats response: %v", err)
+		return
+	}
+	m := st.Metrics
+	fmt.Printf("chaos: server panics_recovered=%d requests_shed=%d snapshot_failures=%d snapshot_retries=%d rejected_inputs=%d stale_predictions=%d\n",
+		m.PanicsRecovered, m.RequestsShed, m.SnapshotFailures, m.SnapshotRetries, m.RejectedInputs, m.StalePredictions)
 }

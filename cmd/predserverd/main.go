@@ -3,6 +3,16 @@
 // stats) over a sharded, LRU-bounded path registry, with graceful shutdown
 // on SIGINT/SIGTERM and optional periodic JSON snapshots of registry state.
 //
+// The serving path is hardened for imperfect conditions: header/read/idle
+// timeouts guard against slow clients, handler panics are converted into
+// 500s instead of crashes, load past -max-inflight is shed with 429 +
+// Retry-After, snapshot writes are checksummed and retried with backoff,
+// and a corrupt snapshot at boot is quarantined (the daemon starts empty)
+// rather than fatal. -chaos enables seeded fault injection against those
+// defenses: snapshot writes fail half the time, X-Chaos-Panic requests
+// panic inside a handler, and ~10% of requests stall 5ms in-handler so a
+// tight -max-inflight genuinely sheds.
+//
 // Example:
 //
 //	predserverd -addr :8355 -capacity 8192 -snapshot /tmp/predsvc.json -snapshot-interval 30s
@@ -19,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/predsvc"
 )
 
@@ -35,28 +46,54 @@ func main() {
 		noLSO        = flag.Bool("no-lso", false, "disable the level-shift/outlier wrapper")
 		snapshotPath = flag.String("snapshot", "", "snapshot file (restored at startup, written periodically and at shutdown)")
 		snapshotIvl  = flag.Duration("snapshot-interval", time.Minute, "interval between snapshots")
+
+		staleAfter  = flag.Int("stale-after", 0, "observations since the last measurement before FB forecasts are flagged stale (0 = default 30, negative = never)")
+		maxInflight = flag.Int("max-inflight", 0, "concurrent-request cap before shedding with 429 (0 = default 1024, negative = unlimited)")
+		readHdrTO   = flag.Duration("read-header-timeout", 0, "slowloris guard on request headers (0 = default 5s, negative = off)")
+		requestTO   = flag.Duration("request-timeout", 0, "per-request deadline (0 = default 15s, negative = off)")
+		chaosMode   = flag.Bool("chaos", false, "seeded fault injection: snapshot writes fail ~50% of the time, X-Chaos-Panic requests panic in-handler")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "fault-injection seed for -chaos")
 	)
 	flag.Parse()
 
 	cfg := predsvc.Config{
-		Shards:      *shards,
-		Capacity:    *capacity,
-		ErrorWindow: *errWindow,
-		MAOrder:     *maOrder,
-		EWMAAlpha:   *ewmaAlpha,
-		HWAlpha:     *hwAlpha,
-		HWBeta:      *hwBeta,
-		DisableLSO:  *noLSO,
+		Shards:            *shards,
+		Capacity:          *capacity,
+		ErrorWindow:       *errWindow,
+		MAOrder:           *maOrder,
+		EWMAAlpha:         *ewmaAlpha,
+		HWAlpha:           *hwAlpha,
+		HWBeta:            *hwBeta,
+		DisableLSO:        *noLSO,
+		StaleAfter:        *staleAfter,
+		MaxInFlight:       *maxInflight,
+		ReadHeaderTimeout: *readHdrTO,
+		RequestTimeout:    *requestTO,
+	}
+	if *chaosMode {
+		cfg.Faults = faultinject.New(*chaosSeed,
+			faultinject.Rule{Site: predsvc.SiteSnapshotWrite, Probability: 0.5},
+			faultinject.Rule{Site: predsvc.SiteHandlerPanic, Every: 1},
+			// Pure slowdown (no error): ~10% of requests stall in-handler
+			// for 5ms while holding their in-flight slot, so a tight
+			// -max-inflight actually overflows and sheds under load.
+			faultinject.Rule{Site: predsvc.SiteHandlerDelay, Probability: 0.1, Delay: 5 * time.Millisecond},
+		)
+		log.Printf("predserverd: CHAOS MODE (seed %d): injecting snapshot write failures, handler panics and 5ms handler stalls", *chaosSeed)
 	}
 	srv := predsvc.NewServer(cfg)
 
 	if *snapshotPath != "" {
-		n, err := srv.RestoreSnapshot(*snapshotPath)
+		st, err := srv.RestoreSnapshot(*snapshotPath)
 		if err != nil {
 			log.Fatalf("predserverd: restore %s: %v", *snapshotPath, err)
 		}
-		if n > 0 {
-			log.Printf("predserverd: restored %d paths from %s", n, *snapshotPath)
+		if st.Quarantined != "" {
+			log.Printf("predserverd: WARNING: corrupt snapshot quarantined to %s (%v); starting with an empty registry",
+				st.Quarantined, st.Reason)
+		}
+		if st.Paths > 0 {
+			log.Printf("predserverd: restored %d paths from %s", st.Paths, *snapshotPath)
 		}
 	}
 
@@ -84,12 +121,23 @@ func main() {
 		log.Fatalf("predserverd: snapshot: %v", err)
 	}
 	// Serve has drained all in-flight requests by now, so this final
-	// snapshot includes observations accepted during the graceful shutdown.
+	// snapshot includes observations accepted during the graceful
+	// shutdown. It retries with backoff; an ultimately failed write is a
+	// warning, not a crash — losing one snapshot is survivable, dying on
+	// the way out is not.
 	if *snapshotPath != "" {
-		if err := srv.WriteSnapshot(*snapshotPath); err != nil {
-			log.Fatalf("predserverd: final snapshot: %v", err)
+		finalCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.WriteSnapshotRetry(finalCtx, *snapshotPath); err != nil {
+			log.Printf("predserverd: WARNING: final snapshot failed after retries: %v", err)
+		} else {
+			log.Printf("predserverd: final snapshot written to %s", *snapshotPath)
 		}
-		log.Printf("predserverd: final snapshot written to %s", *snapshotPath)
+	}
+	m := srv.Metrics().Snapshot()
+	if m.PanicsRecovered > 0 || m.RequestsShed > 0 || m.SnapshotFailures > 0 {
+		log.Printf("predserverd: resilience: panics_recovered=%d requests_shed=%d snapshot_failures=%d snapshot_retries=%d rejected_inputs=%d",
+			m.PanicsRecovered, m.RequestsShed, m.SnapshotFailures, m.SnapshotRetries, m.RejectedInputs)
 	}
 	fmt.Println("predserverd: shut down cleanly")
 }

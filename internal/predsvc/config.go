@@ -20,7 +20,12 @@
 // only by that path's requests.
 package predsvc
 
-import "repro/internal/predict"
+import (
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/predict"
+)
 
 // Config tunes the registry, the per-path predictor ensemble, and the
 // rolling accuracy statistics. The zero value picks sensible defaults.
@@ -64,6 +69,43 @@ type Config struct {
 	// FB configures the formula-based predictor (zero value: PFTK,
 	// 1460 B MSS, 1 MB window, delayed ACKs — the paper's target flow).
 	FB predict.FBConfig
+
+	// StaleAfter is how many observations a path may absorb after a
+	// measurement before FB forecasts are flagged stale and excluded from
+	// best-predictor selection (default 30; negative disables staleness
+	// tracking). Staleness is counted in observations, not wall time, so
+	// predict responses stay deterministic for a fixed request sequence.
+	StaleAfter int
+
+	// ReadHeaderTimeout bounds how long Serve's http.Server waits for a
+	// client to finish sending request headers — the slowloris guard
+	// (default 5s; negative disables).
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading one full request (default 1m; negative
+	// disables).
+	ReadTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit idle
+	// (default 2m; negative disables).
+	IdleTimeout time.Duration
+	// RequestTimeout is the per-request context deadline installed by the
+	// hardening middleware (default 15s; negative disables).
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently served requests; past it the server
+	// sheds load with 429 + Retry-After instead of queueing without bound
+	// (default 1024; negative disables shedding).
+	MaxInFlight int
+
+	// SnapshotRetryMin/Max bound the exponential backoff between retries
+	// of a failed snapshot write (defaults 250ms / 15s).
+	SnapshotRetryMin time.Duration
+	SnapshotRetryMax time.Duration
+	// SnapshotRetries is how many backoff retries one snapshot cycle
+	// attempts before giving up until the next tick (default 8).
+	SnapshotRetries int
+
+	// Faults is an optional deterministic fault injector; sites are the
+	// Site* constants in this package. Nil injects nothing.
+	Faults *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -98,7 +140,43 @@ func (c Config) withDefaults() Config {
 	if c.HWBeta == 0 {
 		c.HWBeta = 0.2
 	}
+	if c.StaleAfter == 0 {
+		c.StaleAfter = 30
+	}
+	if c.ReadHeaderTimeout == 0 {
+		c.ReadHeaderTimeout = 5 * time.Second
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = time.Minute
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 1024
+	}
+	if c.SnapshotRetryMin <= 0 {
+		c.SnapshotRetryMin = 250 * time.Millisecond
+	}
+	if c.SnapshotRetryMax <= 0 {
+		c.SnapshotRetryMax = 15 * time.Second
+	}
+	if c.SnapshotRetries == 0 {
+		c.SnapshotRetries = 8
+	}
 	return c
+}
+
+// posDur maps the "negative disables" config convention onto http.Server's
+// "zero disables" one.
+func posDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // nextPow2 returns the smallest power of two ≥ n (n ≥ 1).

@@ -6,15 +6,18 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"net/url"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/predict"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -107,6 +110,59 @@ type LoadConfig struct {
 	// Client overrides the HTTP client (default: keep-alive tuned for
 	// Workers connections).
 	Client *http.Client
+	// Chaos enables deterministic client-side fault injection: aborted
+	// predict requests, slowloris probes, and forced-panic probes. All
+	// chaos traffic is read-only or rejected by the server, so the predict
+	// digest over the fault-free subset is unchanged by chaos. Nil
+	// disables chaos.
+	Chaos *ChaosConfig
+}
+
+// Fault-injection sites used by the chaos-mode load generator.
+const (
+	siteClientAbort = "client.abort"
+	siteClientSlow  = "client.slowloris"
+)
+
+// ChaosConfig tunes the load generator's chaos mode. All decisions draw
+// from a seeded injector, so a fixed replay sees a fixed number of each
+// fault kind.
+type ChaosConfig struct {
+	// Seed for the fault-injection draws.
+	Seed int64
+	// AbortProb is the per-epoch probability of an extra predict request
+	// that the client abandons mid-flight — a client disconnect (default
+	// 0.05; negative disables).
+	AbortProb float64
+	// SlowProb is the per-epoch probability of a slowloris probe: a raw
+	// connection that sends a partial request line and stalls until the
+	// server's ReadHeaderTimeout closes it (default 0.02; negative
+	// disables).
+	SlowProb float64
+	// SlowHold caps how long a slowloris probe waits for the server to
+	// hang up before giving up (default 2s).
+	SlowHold time.Duration
+	// Panics is the number of ChaosPanicHeader predict probes sent after
+	// the replay (default 1; negative disables). A daemon running with
+	// fault injection at SiteHandlerPanic panics on each and must convert
+	// it into a 500 via its recovery middleware.
+	Panics int
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.AbortProb == 0 {
+		c.AbortProb = 0.05
+	}
+	if c.SlowProb == 0 {
+		c.SlowProb = 0.02
+	}
+	if c.SlowHold <= 0 {
+		c.SlowHold = 2 * time.Second
+	}
+	if c.Panics == 0 {
+		c.Panics = 1
+	}
+	return c
 }
 
 // LoadReport summarizes a Replay run.
@@ -124,18 +180,33 @@ type LoadReport struct {
 	RMSRE        float64
 	MedianAbsErr float64
 
-	// Digest is a SHA-256 over every 200-OK /v1/predict response body,
-	// chained per path and combined in sorted path order — identical
-	// digests across two runs prove byte-identical predict responses.
+	// Digest is a SHA-256 over every 200-OK /v1/predict response body of
+	// the normal (fault-free) replay, chained per path and combined in
+	// sorted path order — identical digests across two runs prove
+	// byte-identical predict responses. Chaos traffic never enters it.
 	Digest string
+
+	// ShedRetries counts 429 responses the client absorbed by backing off
+	// and retrying — load the daemon shed and the replay re-offered.
+	ShedRetries uint64
+	// ChaosRequests / ChaosFaults count the extra fault-injected requests
+	// sent in chaos mode and how many of them ended in the intended
+	// abnormal way (aborted, hung up on, or answered 500).
+	ChaosRequests uint64
+	ChaosFaults   uint64
 }
 
 func (r LoadReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"%d paths, %d epochs: %d requests (%d errors) in %v → %.0f req/s; "+
 			"%d predictions scored, RMSRE %.3f, median |E| %.3f\ndigest sha256:%s",
 		r.Paths, r.Epochs, r.Requests, r.Errors, r.Duration.Round(time.Millisecond),
 		r.QPS, r.Predictions, r.RMSRE, r.MedianAbsErr, r.Digest)
+	if r.ShedRetries > 0 || r.ChaosRequests > 0 {
+		s += fmt.Sprintf("\nchaos: %d injected client faults (%d landed), %d shed retries",
+			r.ChaosRequests, r.ChaosFaults, r.ShedRetries)
+	}
+	return s
 }
 
 // Replay drives the daemon at cfg.BaseURL with the given series: per path
@@ -162,12 +233,33 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 		}
 	}
 
+	// Chaos mode: one shared seeded injector across workers. Each
+	// per-epoch evaluation consumes one draw under the injector's lock, so
+	// the total number of injected faults is fixed by (series, seed) even
+	// though their assignment to epochs depends on worker interleaving.
+	var chaos *faultinject.Injector
+	var chaosCfg ChaosConfig
+	var host string
+	if cfg.Chaos != nil {
+		chaosCfg = cfg.Chaos.withDefaults()
+		chaos = faultinject.New(chaosCfg.Seed,
+			faultinject.Rule{Site: siteClientAbort, Probability: chaosCfg.AbortProb},
+			faultinject.Rule{Site: siteClientSlow, Probability: chaosCfg.SlowProb},
+		)
+		if u, err := url.Parse(cfg.BaseURL); err == nil {
+			host = u.Host
+		}
+	}
+
 	type workerOut struct {
-		requests uint64
-		errors   uint64
-		errs     []float64
-		digests  map[string]string
-		err      error
+		requests    uint64
+		errors      uint64
+		shedRetries uint64
+		chaosReqs   uint64
+		chaosFaults uint64
+		errs        []float64
+		digests     map[string]string
+		err         error
 	}
 	outs := make([]workerOut, cfg.Workers)
 	start := time.Now()
@@ -177,7 +269,10 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			lw := loadWorker{cfg: cfg, client: client, digests: make(map[string]string)}
+			lw := loadWorker{
+				cfg: cfg, client: client, digests: make(map[string]string),
+				chaos: chaos, chaosCfg: chaosCfg, host: host,
+			}
 			// Epoch-major over this worker's paths so load interleaves
 			// across paths instead of finishing them one by one.
 			maxEpochs := 0
@@ -202,6 +297,7 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 			}
 			outs[w] = workerOut{
 				requests: lw.requests, errors: lw.errors,
+				shedRetries: lw.shedRetries, chaosReqs: lw.chaosRequests, chaosFaults: lw.chaosFaults,
 				errs: lw.scored, digests: lw.digests, err: lw.err,
 			}
 		}(w)
@@ -217,9 +313,40 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 		}
 		rep.Requests += o.requests
 		rep.Errors += o.errors
+		rep.ShedRetries += o.shedRetries
+		rep.ChaosRequests += o.chaosReqs
+		rep.ChaosFaults += o.chaosFaults
 		allErrs = append(allErrs, o.errs...)
 		for p, d := range o.digests {
 			perPath[p] = d
+		}
+	}
+
+	// Forced-panic probes: sent after the replay so a recovering daemon's
+	// 500s cannot interleave with scored traffic. The probe asks for an
+	// existing path with ChaosPanicHeader set; a daemon with chaos
+	// injection panics in-handler and must answer 500 (recovery
+	// middleware), a production daemon just serves the prediction. Either
+	// way the response stays out of the digest.
+	if cfg.Chaos != nil && len(series) > 0 && ctx.Err() == nil {
+		probe := cfg.BaseURL + "/v1/predict?path=" + url.QueryEscape(series[0].Path)
+		for i := 0; i < chaosCfg.Panics; i++ {
+			rep.ChaosRequests++
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, probe, nil)
+			if err != nil {
+				break
+			}
+			req.Header.Set(ChaosPanicHeader, "1")
+			resp, err := client.Do(req)
+			if err != nil {
+				rep.ChaosFaults++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusInternalServerError {
+				rep.ChaosFaults++
+			}
 		}
 	}
 	for _, ps := range series {
@@ -261,10 +388,26 @@ type loadWorker struct {
 	scored   []float64
 	digests  map[string]string // path → running hex digest chain
 	err      error
+
+	// chaos state (nil injector = chaos off)
+	chaos         *faultinject.Injector
+	chaosCfg      ChaosConfig
+	host          string
+	shedRetries   uint64
+	chaosRequests uint64
+	chaosFaults   uint64
 }
 
 // epoch replays one (path, epoch) cell: measure → predict (scored) → observe.
 func (lw *loadWorker) epoch(ctx context.Context, ps PathSeries, e int) {
+	if lw.chaos != nil {
+		if lw.chaos.Check(siteClientAbort) != nil {
+			lw.chaosAbort(ctx, ps.Path)
+		}
+		if lw.chaos.Check(siteClientSlow) != nil {
+			lw.chaosSlowloris()
+		}
+	}
 	actual := ps.Throughputs[e]
 	hasInputs := ps.Inputs != nil
 	if hasInputs {
@@ -290,6 +433,51 @@ func (lw *loadWorker) epoch(ctx context.Context, ps PathSeries, e int) {
 	lw.post(ctx, "/v1/observe", ObserveRequest{Path: ps.Path, ThroughputBps: actual}, nil)
 }
 
+// chaosAbort fires an extra predict request and abandons it almost
+// immediately — a client disconnect mid-request. Predict is read-only, so
+// whether the server finished processing or not, session state and the
+// fault-free digest are untouched.
+func (lw *loadWorker) chaosAbort(ctx context.Context, path string) {
+	lw.chaosRequests++
+	actx, cancel := context.WithTimeout(ctx, 500*time.Microsecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet,
+		lw.cfg.BaseURL+"/v1/predict?path="+url.QueryEscape(path), nil)
+	if err != nil {
+		return
+	}
+	resp, err := lw.client.Do(req)
+	if err != nil {
+		lw.chaosFaults++ // aborted as intended
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// chaosSlowloris opens a raw connection, sends a partial request and
+// stalls, waiting for the server's ReadHeaderTimeout to hang up. The
+// request never completes its headers, so no handler runs.
+func (lw *loadWorker) chaosSlowloris() {
+	if lw.host == "" {
+		return
+	}
+	lw.chaosRequests++
+	c, err := net.DialTimeout("tcp", lw.host, time.Second)
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "GET /v1/predict?path=chaos HTTP/1.1\r\nHost: %s\r\n", lw.host)
+	c.SetReadDeadline(time.Now().Add(lw.chaosCfg.SlowHold))
+	buf := make([]byte, 256)
+	_, err = c.Read(buf)
+	var nerr net.Error
+	if err != nil && !(errors.As(err, &nerr) && nerr.Timeout()) {
+		lw.chaosFaults++ // server hung up on us — the defense worked
+	}
+}
+
 func (lw *loadWorker) post(ctx context.Context, path string, body, out any) {
 	if lw.err != nil {
 		return
@@ -299,13 +487,7 @@ func (lw *loadWorker) post(ctx context.Context, path string, body, out any) {
 		lw.err = err
 		return
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, lw.cfg.BaseURL+path, bytes.NewReader(data))
-	if err != nil {
-		lw.err = err
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
-	lw.do(req, out)
+	lw.do(ctx, http.MethodPost, lw.cfg.BaseURL+path, data, out)
 }
 
 // get performs a GET and returns the raw body on HTTP 200 (nil otherwise),
@@ -314,36 +496,63 @@ func (lw *loadWorker) get(ctx context.Context, path string, out any) []byte {
 	if lw.err != nil {
 		return nil
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, lw.cfg.BaseURL+path, nil)
-	if err != nil {
-		lw.err = err
-		return nil
-	}
-	return lw.do(req, out)
+	return lw.do(ctx, http.MethodGet, lw.cfg.BaseURL+path, nil, out)
 }
 
-func (lw *loadWorker) do(req *http.Request, out any) []byte {
-	resp, err := lw.client.Do(req)
-	if err != nil {
-		lw.err = err
-		return nil
-	}
-	defer resp.Body.Close()
-	lw.requests++
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		lw.err = err
-		return nil
-	}
-	if resp.StatusCode != http.StatusOK {
-		lw.errors++
-		return nil
-	}
-	if out != nil {
-		if err := json.Unmarshal(body, out); err != nil {
-			lw.err = fmt.Errorf("predsvc: bad %s response: %w", req.URL.Path, err)
+// do issues one request, transparently retrying 429 (load-shed) responses
+// with capped exponential backoff. The worker blocks until the request is
+// accepted, so per-path request order — the determinism contract — is
+// preserved even when the daemon sheds aggressively.
+func (lw *loadWorker) do(ctx context.Context, method, url string, body []byte, out any) []byte {
+	backoff := time.Millisecond
+	for {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			lw.err = err
 			return nil
 		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := lw.client.Do(req)
+		if err != nil {
+			lw.err = err
+			return nil
+		}
+		lw.requests++
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lw.err = err
+			return nil
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			lw.shedRetries++
+			select {
+			case <-ctx.Done():
+				lw.err = ctx.Err()
+				return nil
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 50*time.Millisecond {
+				backoff = 50 * time.Millisecond
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lw.errors++
+			return nil
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				lw.err = fmt.Errorf("predsvc: bad %s response: %w", req.URL.Path, err)
+				return nil
+			}
+		}
+		return data
 	}
-	return body
 }

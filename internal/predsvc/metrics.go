@@ -92,6 +92,17 @@ type Metrics struct {
 	observations     atomic.Uint64
 	predictions      atomic.Uint64
 	snapshotsWritten atomic.Uint64
+
+	// Resilience counters: handler panics converted to 500s, requests
+	// shed with 429, invalid (NaN/Inf/negative) inputs rejected with 400,
+	// snapshot write failures and backoff retries, and predict responses
+	// whose FB forecast was flagged stale.
+	panicsRecovered  atomic.Uint64
+	requestsShed     atomic.Uint64
+	rejectedInputs   atomic.Uint64
+	snapshotRetries  atomic.Uint64
+	snapshotFailures atomic.Uint64
+	stalePredictions atomic.Uint64
 }
 
 func (m *Metrics) record(ep endpoint, status int, d time.Duration) {
@@ -115,6 +126,12 @@ type MetricsSnapshot struct {
 	Observations     uint64             `json:"observations"`
 	Predictions      uint64             `json:"predictions"`
 	SnapshotsWritten uint64             `json:"snapshots_written"`
+	PanicsRecovered  uint64             `json:"panics_recovered"`
+	RequestsShed     uint64             `json:"requests_shed"`
+	RejectedInputs   uint64             `json:"rejected_inputs"`
+	SnapshotRetries  uint64             `json:"snapshot_retries"`
+	SnapshotFailures uint64             `json:"snapshot_failures"`
+	StalePredictions uint64             `json:"stale_predictions"`
 	Endpoints        []EndpointSnapshot `json:"endpoints"`
 }
 
@@ -124,6 +141,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Observations:     m.observations.Load(),
 		Predictions:      m.predictions.Load(),
 		SnapshotsWritten: m.snapshotsWritten.Load(),
+		PanicsRecovered:  m.panicsRecovered.Load(),
+		RequestsShed:     m.requestsShed.Load(),
+		RejectedInputs:   m.rejectedInputs.Load(),
+		SnapshotRetries:  m.snapshotRetries.Load(),
+		SnapshotFailures: m.snapshotFailures.Load(),
+		StalePredictions: m.stalePredictions.Load(),
 	}
 	for ep := endpoint(0); ep < epCount; ep++ {
 		s.Endpoints = append(s.Endpoints, EndpointSnapshot{

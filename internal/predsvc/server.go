@@ -6,7 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"runtime"
@@ -14,6 +14,25 @@ import (
 
 	"repro/internal/predict"
 )
+
+// Fault-injection sites understood by the server (see Config.Faults and
+// internal/faultinject). A rule at SiteSnapshotWrite fails WriteSnapshot
+// calls; SiteSnapshotCorrupt flips a byte in the encoded snapshot before
+// it reaches disk; SiteHandlerPanic makes requests carrying
+// ChaosPanicHeader panic inside the handler chain (exercising the
+// recovery middleware); SiteHandlerDelay delays or fails requests at the
+// front of the handler chain.
+const (
+	SiteSnapshotWrite   = "snapshot.write"
+	SiteSnapshotCorrupt = "snapshot.corrupt"
+	SiteHandlerPanic    = "handler.panic"
+	SiteHandlerDelay    = "handler.delay"
+)
+
+// ChaosPanicHeader marks a request as a chaos panic probe. It is honored
+// only when a fault rule is installed at SiteHandlerPanic — a production
+// server without an injector serves such requests normally.
+const ChaosPanicHeader = "X-Chaos-Panic"
 
 // Server wires a Registry and Metrics behind the HTTP JSON API:
 //
@@ -30,6 +49,8 @@ type Server struct {
 	reg     *Registry
 	metrics *Metrics
 	mux     *http.ServeMux
+	root    http.Handler
+	sem     chan struct{} // in-flight request semaphore; nil = no shedding
 	start   time.Time
 }
 
@@ -47,7 +68,73 @@ func NewServer(cfg Config) *Server {
 	s.mux.Handle("GET /v1/predict", s.instrument(epPredict, s.handlePredict))
 	s.mux.Handle("GET /v1/stats", s.instrument(epStats, s.handleStats))
 	s.mux.Handle("GET /debug/vars", s.instrument(epVars, s.handleVars))
+	if s.cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, s.cfg.MaxInFlight)
+	}
+	s.root = s.harden(s.mux)
 	return s
+}
+
+// harden wraps the mux with the resilience middleware, outermost first:
+// semaphore-based load shedding (429 + Retry-After past MaxInFlight
+// in-flight requests), panic recovery (a panicking handler produces a 500
+// and a panics_recovered tick, not a dead daemon), fault-injection seams,
+// and the per-request context deadline.
+func (r *Server) harden(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r.sem != nil {
+			select {
+			case r.sem <- struct{}{}:
+				defer func() { <-r.sem }()
+			default:
+				r.metrics.requestsShed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, apiError{Error: "overloaded: in-flight request cap reached, retry"})
+				return
+			}
+		}
+		sw := &shieldWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				r.metrics.panicsRecovered.Add(1)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal panic recovered: %v", p)
+				}
+			}
+		}()
+		if req.Header.Get(ChaosPanicHeader) != "" {
+			if err := r.cfg.Faults.Check(SiteHandlerPanic); err != nil {
+				panic(fmt.Sprintf("chaos probe: %v", err))
+			}
+		}
+		if err := r.cfg.Faults.Check(SiteHandlerDelay); err != nil {
+			writeError(sw, http.StatusServiceUnavailable, "injected fault: %v", err)
+			return
+		}
+		if d := r.cfg.RequestTimeout; d > 0 {
+			ctx, cancel := context.WithTimeout(req.Context(), d)
+			defer cancel()
+			req = req.WithContext(ctx)
+		}
+		next.ServeHTTP(sw, req)
+	})
+}
+
+// shieldWriter tracks whether a handler wrote anything, so the panic
+// recovery path only emits its 500 on a virgin response.
+type shieldWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *shieldWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *shieldWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // Registry exposes the underlying path registry.
@@ -56,15 +143,22 @@ func (r *Server) Registry() *Registry { return r.reg }
 // Metrics exposes the server's counters.
 func (r *Server) Metrics() *Metrics { return r.metrics }
 
-// Handler returns the HTTP handler serving the API.
-func (r *Server) Handler() http.Handler { return r.mux }
+// Handler returns the HTTP handler serving the API, wrapped in the
+// hardening middleware (load shedding, panic recovery, request deadlines).
+func (r *Server) Handler() http.Handler { return r.root }
 
 // Serve accepts connections on ln until ctx is cancelled, then shuts the
 // HTTP server down gracefully (in-flight requests get up to 5 s), mirroring
 // the context discipline of internal/campaign: cancellation is the normal
-// way to stop, and a clean shutdown returns nil.
+// way to stop, and a clean shutdown returns nil. The http.Server carries
+// the configured read-header (slowloris guard), read, and idle timeouts.
 func (r *Server) Serve(ctx context.Context, ln net.Listener) error {
-	srv := &http.Server{Handler: r.mux}
+	srv := &http.Server{
+		Handler:           r.root,
+		ReadHeaderTimeout: posDur(r.cfg.ReadHeaderTimeout),
+		ReadTimeout:       posDur(r.cfg.ReadTimeout),
+		IdleTimeout:       posDur(r.cfg.IdleTimeout),
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -86,8 +180,10 @@ func (r *Server) Serve(ctx context.Context, ln net.Listener) error {
 // is cancelled, then returns nil without a final write. Serve keeps
 // draining in-flight requests after ctx is cancelled, so callers that want
 // a shutdown snapshot covering that traffic must call WriteSnapshot once
-// Serve has returned (cmd/predserverd does). Write failures are returned
-// immediately.
+// Serve has returned (cmd/predserverd does). A failed write is retried
+// with capped exponential backoff (WriteSnapshotRetry); a cycle that
+// exhausts its retries gives up until the next tick — one bad write, or
+// even a stretch of them, never permanently disables periodic snapshots.
 func (r *Server) SnapshotLoop(ctx context.Context, path string, interval time.Duration) error {
 	t := time.NewTicker(interval)
 	defer t.Stop()
@@ -96,33 +192,95 @@ func (r *Server) SnapshotLoop(ctx context.Context, path string, interval time.Du
 		case <-ctx.Done():
 			return nil
 		case <-t.C:
-			if err := r.WriteSnapshot(path); err != nil {
-				return err
-			}
+			r.WriteSnapshotRetry(ctx, path)
 		}
 	}
 }
 
-// WriteSnapshot atomically persists the registry to path.
+// WriteSnapshotRetry writes a snapshot, retrying failures up to
+// Config.SnapshotRetries times with exponential backoff between
+// SnapshotRetryMin and SnapshotRetryMax plus up to 50% jitter (so many
+// daemons recovering from a shared-disk hiccup do not retry in lockstep).
+// Each failed attempt ticks snapshot_failures, each backoff sleep ticks
+// snapshot_retries. The last error is returned if every attempt failed;
+// ctx cancellation aborts the backoff.
+func (r *Server) WriteSnapshotRetry(ctx context.Context, path string) error {
+	backoff := r.cfg.SnapshotRetryMin
+	var err error
+	for attempt := 0; attempt <= r.cfg.SnapshotRetries; attempt++ {
+		if attempt > 0 {
+			r.metrics.snapshotRetries.Add(1)
+			sleep := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(sleep):
+			}
+			if backoff *= 2; backoff > r.cfg.SnapshotRetryMax {
+				backoff = r.cfg.SnapshotRetryMax
+			}
+		}
+		if err = r.WriteSnapshot(path); err == nil {
+			return nil
+		}
+		r.metrics.snapshotFailures.Add(1)
+	}
+	return err
+}
+
+// WriteSnapshot atomically persists the registry to path, checksummed.
 func (r *Server) WriteSnapshot(path string) error {
-	if err := WriteSnapshotFile(path, r.reg.Snapshot()); err != nil {
+	if err := r.cfg.Faults.Check(SiteSnapshotWrite); err != nil {
+		return fmt.Errorf("predsvc: snapshot write: %w", err)
+	}
+	data, err := EncodeSnapshot(r.reg.Snapshot())
+	if err != nil {
+		return err
+	}
+	data = r.cfg.Faults.Mutate(SiteSnapshotCorrupt, data)
+	if err := writeFileAtomic(path, data); err != nil {
 		return err
 	}
 	r.metrics.snapshotsWritten.Add(1)
 	return nil
 }
 
-// RestoreSnapshot loads a snapshot file into the registry, returning the
-// number of paths restored. A missing file is not an error (0, nil).
-func (r *Server) RestoreSnapshot(path string) (int, error) {
+// RestoreStats reports what RestoreSnapshot did at boot.
+type RestoreStats struct {
+	// Paths restored into the registry.
+	Paths int
+	// Quarantined is the "<path>.corrupt-<n>" name a corrupt snapshot was
+	// moved to, or empty when the snapshot was missing or healthy.
+	Quarantined string
+	// Reason is the corruption that triggered the quarantine.
+	Reason error
+}
+
+// RestoreSnapshot loads a snapshot file into the registry. A missing file
+// is not an error. A corrupt file (bad checksum, unparseable, wrong
+// version) is quarantined to "<path>.corrupt-<n>" and reported in the
+// returned stats — the daemon boots with an empty registry instead of
+// dying on state it can regrow from live traffic. Only real I/O failures
+// (unreadable file, failed quarantine rename) return an error.
+func (r *Server) RestoreSnapshot(path string) (RestoreStats, error) {
+	var st RestoreStats
 	snap, err := ReadSnapshotFile(path)
-	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return 0, nil
+	switch {
+	case err == nil:
+	case errors.Is(err, fs.ErrNotExist):
+		return st, nil
+	case errors.Is(err, ErrCorruptSnapshot):
+		q, qerr := Quarantine(path)
+		if qerr != nil {
+			return st, errors.Join(err, qerr)
 		}
-		return 0, err
+		st.Quarantined, st.Reason = q, err
+		return st, nil
+	default:
+		return st, err
 	}
-	return r.reg.Restore(snap)
+	st.Paths, err = r.reg.Restore(snap)
+	return st, err
 }
 
 // apiError is the JSON error body.
@@ -187,7 +345,8 @@ func (r *Server) handleObserve(w http.ResponseWriter, req *http.Request) int {
 	if body.Path == "" {
 		return writeError(w, http.StatusBadRequest, "missing path")
 	}
-	if body.ThroughputBps <= 0 || math.IsInf(body.ThroughputBps, 0) || math.IsNaN(body.ThroughputBps) {
+	if !ValidObservation(body.ThroughputBps) {
+		r.metrics.rejectedInputs.Add(1)
 		return writeError(w, http.StatusBadRequest, "throughput_bps must be finite and positive")
 	}
 	n := r.reg.GetOrCreate(body.Path).Observe(body.ThroughputBps)
@@ -217,14 +376,16 @@ func (r *Server) handleMeasure(w http.ResponseWriter, req *http.Request) int {
 	if body.Path == "" {
 		return writeError(w, http.StatusBadRequest, "missing path")
 	}
-	if body.RTTSeconds < 0 || body.LossRate < 0 || body.LossRate > 1 || body.AvailBwBps < 0 {
-		return writeError(w, http.StatusBadRequest, "measurements out of range")
-	}
-	f := r.reg.GetOrCreate(body.Path).SetMeasurement(predict.FBInputs{
+	in := predict.FBInputs{
 		RTT:      body.RTTSeconds,
 		LossRate: body.LossRate,
 		AvailBw:  body.AvailBwBps,
-	})
+	}
+	if !ValidMeasurement(in) {
+		r.metrics.rejectedInputs.Add(1)
+		return writeError(w, http.StatusBadRequest, "measurements must be finite and in range")
+	}
+	f := r.reg.GetOrCreate(body.Path).SetMeasurement(in)
 	return writeJSON(w, http.StatusOK, MeasureResponse{Path: body.Path, ForecastBps: f})
 }
 
@@ -238,7 +399,11 @@ func (r *Server) handlePredict(w http.ResponseWriter, req *http.Request) int {
 		return writeError(w, http.StatusNotFound, "unknown path %q", path)
 	}
 	r.metrics.predictions.Add(1)
-	return writeJSON(w, http.StatusOK, sess.Predict())
+	p := sess.Predict()
+	if p.FB != nil && p.FB.Stale {
+		r.metrics.stalePredictions.Add(1)
+	}
+	return writeJSON(w, http.StatusOK, p)
 }
 
 // StatsResponse is the service-wide statistics payload.

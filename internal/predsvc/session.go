@@ -30,6 +30,10 @@ type Session struct {
 	fbIn  predict.FBInputs
 	hasFB bool
 	fbErr *errWindow
+	// fbSetAtObs is the observation count when the measurements were
+	// installed; the gap to the current count is the measurement age that
+	// drives staleness flagging (deterministic, unlike wall time).
+	fbSetAtObs uint64
 
 	observations uint64
 	history      []float64 // recent raw observations, for snapshot/restore
@@ -63,12 +67,34 @@ func newSession(path string, cfg Config) *Session {
 // Path returns the path name the session serves.
 func (s *Session) Path() string { return s.path }
 
+// ValidObservation reports whether x is a usable throughput sample: finite
+// and strictly positive. NaN, ±Inf and non-positive values would poison
+// predictor state, error windows and snapshots if absorbed.
+func ValidObservation(x float64) bool {
+	return x > 0 && !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// ValidMeasurement reports whether in is a usable a-priori measurement
+// set: finite non-negative RTT and available bandwidth, loss rate in
+// [0, 1]. (NaN fails every comparison, so it is rejected by these bounds.)
+func ValidMeasurement(in predict.FBInputs) bool {
+	finiteNonNeg := func(x float64) bool { return x >= 0 && !math.IsInf(x, 1) }
+	return finiteNonNeg(in.RTT) && finiteNonNeg(in.AvailBw) &&
+		in.LossRate >= 0 && in.LossRate <= 1
+}
+
 // Observe feeds the throughput (bits/s) achieved by the latest transfer on
 // the path: every predictor's standing forecast is scored against it, then
 // the HB ensemble absorbs it. It returns the new observation count.
+// Invalid samples (see ValidObservation) are dropped: the count is
+// returned unchanged. The HTTP layer rejects them with a 400 before this
+// point; the check here protects direct API users.
 func (s *Session) Observe(throughputBps float64) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !ValidObservation(throughputBps) {
+		return s.observations
+	}
 	s.observeLocked(throughputBps)
 	return s.observations
 }
@@ -112,12 +138,18 @@ func (s *Session) clampErr(e float64) float64 {
 
 // SetMeasurement installs fresh a-priori path measurements (T̂, p̂, Â) for
 // the FB predictor and returns its forecast for them (0 when the inputs
-// give no basis for prediction).
+// give no basis for prediction). Installing resets the measurement age
+// that drives staleness flagging. Invalid inputs (see ValidMeasurement)
+// are dropped and 0 is returned, leaving prior measurements in place.
 func (s *Session) SetMeasurement(in predict.FBInputs) float64 {
+	if !ValidMeasurement(in) {
+		return 0
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fbIn = in
 	s.hasFB = true
+	s.fbSetAtObs = s.observations
 	return s.fb.Predict(in)
 }
 
@@ -132,14 +164,21 @@ type PredictorState struct {
 }
 
 // FBState reports the formula-based side: the latest installed
-// measurements, the forecast they produce, and its rolling accuracy.
+// measurements, the forecast they produce, its rolling accuracy, and how
+// stale the measurements are. MeasurementAge counts observations absorbed
+// since the measurements were installed; past Config.StaleAfter the
+// forecast is flagged Stale and excluded from best-predictor selection —
+// the service degrades to HB-only rather than serving forecasts computed
+// from a bygone path state.
 type FBState struct {
-	RTTSeconds  float64 `json:"rtt_s"`
-	LossRate    float64 `json:"loss_rate"`
-	AvailBwBps  float64 `json:"avail_bw_bps"`
-	ForecastBps float64 `json:"forecast_bps"`
-	RMSRE       float64 `json:"rmsre"`
-	ErrorCount  int     `json:"error_count"`
+	RTTSeconds     float64 `json:"rtt_s"`
+	LossRate       float64 `json:"loss_rate"`
+	AvailBwBps     float64 `json:"avail_bw_bps"`
+	ForecastBps    float64 `json:"forecast_bps"`
+	RMSRE          float64 `json:"rmsre"`
+	ErrorCount     int     `json:"error_count"`
+	MeasurementAge uint64  `json:"measurement_age"`
+	Stale          bool    `json:"stale,omitempty"`
 }
 
 // Prediction is the full answer for one path: every predictor's forecast
@@ -172,12 +211,15 @@ func (s *Session) Predict() Prediction {
 	}
 	if s.hasFB {
 		f := s.fb.Predict(s.fbIn)
+		age := s.observations - s.fbSetAtObs
 		fbState := &FBState{
-			RTTSeconds:  s.fbIn.RTT,
-			LossRate:    s.fbIn.LossRate,
-			AvailBwBps:  s.fbIn.AvailBw,
-			ForecastBps: f,
-			ErrorCount:  s.fbErr.count(),
+			RTTSeconds:     s.fbIn.RTT,
+			LossRate:       s.fbIn.LossRate,
+			AvailBwBps:     s.fbIn.AvailBw,
+			ForecastBps:    f,
+			ErrorCount:     s.fbErr.count(),
+			MeasurementAge: age,
+			Stale:          s.cfg.StaleAfter > 0 && age > uint64(s.cfg.StaleAfter),
 		}
 		fbState.RMSRE, _ = s.fbErr.rmsre(s.cfg.ErrClamp)
 		p.FB = fbState
@@ -203,7 +245,9 @@ func (s *Session) bestLocked(p Prediction) (string, float64) {
 	for _, st := range p.HB {
 		consider(st.Name, st.ForecastBps, st.RMSRE, st.ErrorCount, st.Ready)
 	}
-	if p.FB != nil {
+	// A stale FB forecast never competes: its measurements describe a
+	// path state the service no longer believes in.
+	if p.FB != nil && !p.FB.Stale {
 		consider("FB", p.FB.ForecastBps, p.FB.RMSRE, p.FB.ErrorCount, p.FB.ForecastBps > 0)
 	}
 	if bestName != "" {
@@ -215,7 +259,7 @@ func (s *Session) bestLocked(p Prediction) (string, float64) {
 			return st.Name, st.ForecastBps
 		}
 	}
-	if p.FB != nil && p.FB.ForecastBps > 0 {
+	if p.FB != nil && !p.FB.Stale && p.FB.ForecastBps > 0 {
 		return "FB", p.FB.ForecastBps
 	}
 	return "", 0
@@ -244,6 +288,7 @@ func (s *Session) snapshot() PathSnapshot {
 			LossRate:   s.fbIn.LossRate,
 			AvailBwBps: s.fbIn.AvailBw,
 		}
+		ps.FBAge = s.observations - s.fbSetAtObs
 	}
 	return ps
 }
@@ -268,6 +313,9 @@ func (s *Session) restore(ps PathSnapshot) {
 		}
 		s.fbErr = windowFromErrors(ps.FBErrors, s.cfg.ErrorWindow)
 	}
+	if ps.Observations > s.observations {
+		s.observations = ps.Observations
+	}
 	if ps.FBInputs != nil {
 		s.fbIn = predict.FBInputs{
 			RTT:      ps.FBInputs.RTTSeconds,
@@ -275,9 +323,13 @@ func (s *Session) restore(ps PathSnapshot) {
 			AvailBw:  ps.FBInputs.AvailBwBps,
 		}
 		s.hasFB = true
-	}
-	if ps.Observations > s.observations {
-		s.observations = ps.Observations
+		// Carry the measurement age across the restart so a forecast that
+		// was stale before the crash stays stale after it.
+		age := ps.FBAge
+		if age > s.observations {
+			age = s.observations
+		}
+		s.fbSetAtObs = s.observations - age
 	}
 }
 

@@ -1,10 +1,16 @@
 package predsvc
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // FBInputsSnapshot is the serialized form of the latest a-priori
@@ -25,8 +31,12 @@ type PathSnapshot struct {
 	Observations uint64            `json:"observations"`
 	History      []float64         `json:"history"`
 	FBInputs     *FBInputsSnapshot `json:"fb_inputs,omitempty"`
-	HBErrors     [][]float64       `json:"hb_errors,omitempty"`
-	FBErrors     []float64         `json:"fb_errors,omitempty"`
+	// FBAge is how many observations the path had absorbed since the
+	// FBInputs measurements were installed — preserved so staleness
+	// flagging survives a restart.
+	FBAge    uint64      `json:"fb_age,omitempty"`
+	HBErrors [][]float64 `json:"hb_errors,omitempty"`
+	FBErrors []float64   `json:"fb_errors,omitempty"`
 }
 
 // Snapshot is the serialized registry: every session's replayable state,
@@ -68,13 +78,69 @@ func (r *Registry) Restore(snap *Snapshot) (int, error) {
 	return len(snap.Paths), nil
 }
 
-// WriteSnapshotFile atomically writes snap to path (temp file + rename in
-// the destination directory).
-func WriteSnapshotFile(path string, snap *Snapshot) error {
+// ErrCorruptSnapshot tags snapshot data that fails its checksum, does not
+// parse, or carries an unknown version — anything a crash mid-write, a
+// torn disk, or a foreign file could produce. Callers match it with
+// errors.Is to distinguish "quarantine and boot empty" from real I/O
+// failures.
+var ErrCorruptSnapshot = errors.New("predsvc: corrupt snapshot")
+
+// checksumPrefix separates the JSON body from the integrity trailer.
+// json.Marshal output never contains a raw newline, so the last occurrence
+// always delimits the trailer.
+const checksumPrefix = "\nsha256:"
+
+// EncodeSnapshot serializes snap as JSON followed by a sha256 trailer
+// line, so a partially flushed or bit-flipped file is detected at boot
+// instead of silently restoring garbage.
+func EncodeSnapshot(snap *Snapshot) ([]byte, error) {
 	data, err := json.Marshal(snap)
 	if err != nil {
-		return fmt.Errorf("predsvc: marshal snapshot: %w", err)
+		return nil, fmt.Errorf("predsvc: marshal snapshot: %w", err)
 	}
+	sum := sha256.Sum256(data)
+	data = append(data, checksumPrefix...)
+	data = append(data, hex.EncodeToString(sum[:])...)
+	data = append(data, '\n')
+	return data, nil
+}
+
+// DecodeSnapshot parses EncodeSnapshot output, verifying the checksum
+// trailer when present. Data without a trailer (the pre-checksum format)
+// is accepted if it parses as JSON. Corruption of any kind returns an
+// error wrapping ErrCorruptSnapshot.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	body := data
+	if i := bytes.LastIndex(data, []byte(checksumPrefix)); i >= 0 {
+		body = data[:i]
+		want := strings.TrimSpace(string(data[i+len(checksumPrefix):]))
+		sum := sha256.Sum256(body)
+		if want != hex.EncodeToString(sum[:]) {
+			return nil, fmt.Errorf("%w: sha256 mismatch", ErrCorruptSnapshot)
+		}
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrCorruptSnapshot, snap.Version, snapshotVersion)
+	}
+	return &snap, nil
+}
+
+// WriteSnapshotFile atomically writes snap to path, checksummed.
+func WriteSnapshotFile(path string, snap *Snapshot) error {
+	data, err := EncodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, data)
+}
+
+// writeFileAtomic writes data via a temp file + rename in the destination
+// directory, so readers never observe a half-written snapshot.
+func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".predsvc-snap-*")
 	if err != nil {
@@ -91,15 +157,35 @@ func WriteSnapshotFile(path string, snap *Snapshot) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// ReadSnapshotFile loads a snapshot written by WriteSnapshotFile.
+// ReadSnapshotFile loads and verifies a snapshot written by
+// WriteSnapshotFile. A missing file surfaces as fs.ErrNotExist; corrupt
+// contents wrap ErrCorruptSnapshot.
 func ReadSnapshotFile(path string) (*Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var snap Snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("predsvc: parse snapshot %s: %w", path, err)
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &snap, nil
+	return snap, nil
+}
+
+// Quarantine moves a corrupt snapshot aside to the first free
+// "<path>.corrupt-<n>" name, preserving the evidence for post-mortems
+// while letting the daemon boot with an empty registry.
+func Quarantine(path string) (string, error) {
+	for n := 1; ; n++ {
+		q := fmt.Sprintf("%s.corrupt-%d", path, n)
+		if _, err := os.Lstat(q); err == nil {
+			continue
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return "", err
+		}
+		if err := os.Rename(path, q); err != nil {
+			return "", err
+		}
+		return q, nil
+	}
 }

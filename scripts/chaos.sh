@@ -1,0 +1,116 @@
+#!/bin/sh
+# chaos.sh — chaos-mode acceptance gate against the real binaries.
+#
+# Boots predserverd twice on a fixed port with periodic snapshots — once
+# clean, once with -chaos (injected snapshot-write failures + in-handler
+# panics) while predload also runs with -chaos (aborted predicts,
+# slowloris probes, forced-panic probes) against an aggressive
+# -max-inflight cap — and asserts:
+#
+#   1. both runs complete with zero fault-free request errors,
+#   2. the predict digests are identical (chaos must not leak into state),
+#   3. the daemon recovered at least one panic and reported it,
+#   4. the daemon shuts down cleanly on SIGTERM after all that.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT="${CHAOS_PORT:-18355}"
+ADDR="127.0.0.1:$PORT"
+SEED=7
+PATHS=40
+EPOCHS=60
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill "$daemon_pid" 2>/dev/null || true
+        wait "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building binaries"
+go build -o "$tmp/predserverd" ./cmd/predserverd
+go build -o "$tmp/predload" ./cmd/predload
+
+# wait_ready polls /v1/stats until the daemon answers.
+wait_ready() {
+    i=0
+    while [ $i -lt 100 ]; do
+        if "$tmp/predload" -addr "$ADDR" -paths 1 -epochs 1 -workers 1 >/dev/null 2>&1; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "daemon on $ADDR never became ready" >&2
+    return 1
+}
+
+# run_once <label> <daemon flags...> — boots the daemon, replays, SIGTERMs.
+# predload output lands in $tmp/<label>.out, daemon log in $tmp/<label>.log.
+run_once() {
+    label=$1
+    shift
+    "$tmp/predserverd" -addr "$ADDR" \
+        -snapshot "$tmp/$label-snap.json" -snapshot-interval 1s \
+        "$@" >"$tmp/$label.log" 2>&1 &
+    daemon_pid=$!
+    wait_ready
+    if [ "$label" = chaos ]; then
+        "$tmp/predload" -addr "$ADDR" -seed "$SEED" -paths "$PATHS" -epochs "$EPOCHS" \
+            -chaos -chaos-seed "$SEED" >"$tmp/$label.out" 2>&1
+    else
+        "$tmp/predload" -addr "$ADDR" -seed "$SEED" -paths "$PATHS" -epochs "$EPOCHS" \
+            >"$tmp/$label.out" 2>&1
+    fi
+    kill -TERM "$daemon_pid"
+    wait "$daemon_pid" || { echo "daemon ($label) did not exit cleanly" >&2; cat "$tmp/$label.log" >&2; exit 1; }
+    daemon_pid=""
+    grep -q "shut down cleanly" "$tmp/$label.log" || {
+        echo "daemon ($label) missing clean-shutdown marker" >&2
+        cat "$tmp/$label.log" >&2
+        exit 1
+    }
+}
+
+echo "==> baseline run (no chaos)"
+run_once baseline
+
+echo "==> chaos run (daemon + client fault injection)"
+run_once chaos -chaos -chaos-seed "$SEED" -max-inflight 2 -read-header-timeout 500ms \
+    -snapshot-interval 200ms
+
+digest_of() { grep -o 'digest sha256:[0-9a-f]*' "$1" | head -n1; }
+base_digest=$(digest_of "$tmp/baseline.out")
+chaos_digest=$(digest_of "$tmp/chaos.out")
+[ -n "$base_digest" ] || { echo "no digest in baseline output" >&2; cat "$tmp/baseline.out" >&2; exit 1; }
+
+echo "    baseline $base_digest"
+echo "    chaos    $chaos_digest"
+if [ "$base_digest" != "$chaos_digest" ]; then
+    echo "FAIL: chaos run changed the predict digest" >&2
+    exit 1
+fi
+
+panics=$(sed -n 's/.*panics_recovered=\([0-9]*\).*/\1/p' "$tmp/chaos.out" | head -n1)
+if [ -z "$panics" ] || [ "$panics" -lt 1 ]; then
+    echo "FAIL: expected panics_recovered >= 1, got '${panics:-none}'" >&2
+    cat "$tmp/chaos.out" >&2
+    exit 1
+fi
+echo "    panics recovered: $panics"
+
+shed=$(sed -n 's/.*requests_shed=\([0-9]*\).*/\1/p' "$tmp/chaos.out" | head -n1)
+if [ -z "$shed" ] || [ "$shed" -lt 1 ]; then
+    echo "FAIL: expected requests_shed >= 1 with -max-inflight 2, got '${shed:-none}'" >&2
+    cat "$tmp/chaos.out" >&2
+    exit 1
+fi
+echo "    requests shed: $shed"
+grep 'chaos: server' "$tmp/chaos.out" || true
+
+echo "OK: daemon absorbed injected faults with an unchanged digest"

@@ -24,10 +24,15 @@ go build ./...
 echo "==> go test -race -short"
 go test -race -short ./...
 
-# The short suite above already includes this, but run it by name so a
-# test-filter or skip regression can't silently drop the end-to-end gate:
-# real daemon on an ephemeral port, driven by the load generator.
+# The short suite above already includes these, but run them by name so a
+# test-filter or skip regression can't silently drop the end-to-end gates:
+# a real daemon on an ephemeral port driven by the load generator, and the
+# chaos gate (injected snapshot failures, handler panics, client aborts,
+# slowloris probes, load shedding — daemon survives, digest unchanged).
 echo "==> prediction-service end-to-end (short)"
 go test -race -short -run 'TestEndToEnd' -count=1 ./internal/predsvc
+
+echo "==> prediction-service chaos gate"
+go test -race -short -run 'TestEndToEndChaos|TestCorruptSnapshotQuarantine' -count=1 ./internal/predsvc
 
 echo "OK"

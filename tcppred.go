@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/availbw"
 	"repro/internal/campaign"
+	"repro/internal/faultinject"
 	"repro/internal/iperf"
 	"repro/internal/netem"
 	"repro/internal/predict"
@@ -200,6 +201,13 @@ type Prediction = predsvc.Prediction
 // (POST /v1/observe, POST /v1/measure, GET /v1/predict, GET /v1/stats,
 // GET /debug/vars) with graceful context-driven shutdown; cmd/predserverd
 // is its daemon wrapper and cmd/predload its load generator.
+//
+// The serving path is hardened: handler panics become 500s, load past
+// ServiceConfig.MaxInFlight is shed with 429 + Retry-After, snapshots are
+// checksummed and retried with backoff, a corrupt snapshot at boot is
+// quarantined rather than fatal, and FB forecasts whose measurements have
+// aged past ServiceConfig.StaleAfter observations are flagged stale and
+// excluded from best-predictor selection.
 type PredictionServer = predsvc.Server
 
 // NewPathRegistry returns a sharded LRU path registry.
@@ -208,6 +216,24 @@ func NewPathRegistry(cfg ServiceConfig) *PathRegistry { return predsvc.NewRegist
 // NewPredictionServer returns an HTTP prediction server over a fresh
 // registry.
 func NewPredictionServer(cfg ServiceConfig) *PredictionServer { return predsvc.NewServer(cfg) }
+
+// FaultInjector is a deterministic, seedable fault-injection plan: named
+// sites in the serving and snapshot paths consult it and fail, delay, or
+// corrupt according to its rules. Assign one to ServiceConfig.Faults for
+// chaos testing; a nil injector is inert and costs one predictable branch
+// per site.
+type FaultInjector = faultinject.Injector
+
+// FaultRule describes when one fault-injection site fires: every Nth call,
+// with a probability, after a warm-up, a limited number of times.
+type FaultRule = faultinject.Rule
+
+// NewFaultInjector builds a deterministic injector from seed and rules.
+// For a fixed seed and rule set the total number of injected faults over N
+// calls is independent of goroutine interleaving.
+func NewFaultInjector(seed int64, rules ...FaultRule) *FaultInjector {
+	return faultinject.New(seed, rules...)
+}
 
 // PathSpec describes a simulated bidirectional network path.
 type PathSpec = netem.PathSpec
