@@ -23,8 +23,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Tracked benchmark run: three passes of every benchmark, distilled into
+# BENCH_<pr>.json and gated against the previous committed baseline (>25%
+# ns/op regression on the hot-path benches fails). `bench-short` is the CI
+# variant: hot-path benches only, compare-only.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	./scripts/bench.sh
+
+bench-short:
+	./scripts/bench.sh -short
 
 # Sustained prediction-service load: ≥50k requests against a real daemon,
 # twice, asserting zero errors and cross-run digest equality.

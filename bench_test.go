@@ -201,6 +201,52 @@ func BenchmarkEngineEvents(b *testing.B) {
 	eng.Run()
 }
 
+// BenchmarkEngineSchedCancel measures schedule+cancel churn — the TCP RTO
+// re-arm pattern, where nearly every scheduled timer is cancelled before
+// it fires. It exercises the free list and the heap's dead-entry handling.
+func BenchmarkEngineSchedCancel(b *testing.B) {
+	eng := sim.NewEngine()
+	var rto sim.Timer
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		rto.Cancel()
+		rto = eng.Schedule(10, func() {})
+		if n < b.N {
+			eng.Schedule(0.001, fn)
+		}
+	}
+	eng.Schedule(0.001, fn)
+	b.ResetTimer()
+	eng.RunUntil(float64(b.N) * 0.001)
+	b.StopTimer()
+	rto.Cancel()
+	eng.Run()
+}
+
+// BenchmarkPacketPath measures one sender→queue→demux round trip through a
+// pooled path: acquire a packet, push it across a hop, and recycle it at
+// the far endpoint's default sink.
+func BenchmarkPacketPath(b *testing.B) {
+	eng := sim.NewEngine()
+	path := netem.NewPath(eng, sim.NewRNG(1), netem.PathSpec{
+		Name: "bench",
+		Forward: []netem.Hop{
+			{CapacityBps: 1e12, PropDelay: 0, BufferBytes: 1 << 30},
+		},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := path.A.NewPacket()
+		pkt.Flow = 1
+		pkt.Kind = netem.KindData
+		pkt.Size = 1500
+		path.A.Send(pkt)
+		eng.Run()
+	}
+}
+
 // BenchmarkQueueForwarding measures packet forwarding through one queue.
 func BenchmarkQueueForwarding(b *testing.B) {
 	eng := sim.NewEngine()

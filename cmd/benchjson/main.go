@@ -1,0 +1,253 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// tracked benchmark JSON (BENCH_<pr>.json) and gates regressions between
+// two such files.
+//
+//	go test -bench=. -benchmem -run '^$' . | benchjson parse -out BENCH_4.json
+//	benchjson compare -old BENCH_3.json -new BENCH_4.json \
+//	    -gate 'BenchmarkEngineEvents,BenchmarkTCPTransfer' -max-regress 25
+//
+// Parse mode keeps the best (lowest ns/op) of repeated runs of the same
+// benchmark, so `-count=N` output yields one stable entry per benchmark.
+// Compare mode exits non-zero when any gated benchmark's ns/op regressed
+// by more than the threshold percentage; other benchmarks are reported but
+// never fail the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"b_per_op,omitempty"`
+	AllocsOp float64 `json:"allocs_per_op,omitempty"`
+	Runs     int     `json:"runs"`
+}
+
+// File is the BENCH_<pr>.json schema.
+type File struct {
+	// Label identifies the measured tree (e.g. "pr4").
+	Label   string   `json:"label,omitempty"`
+	Results []Result `json:"results"`
+	// Baseline optionally records the same benchmarks measured on the
+	// previous tree, so a single file carries before/after numbers.
+	Baseline []Result `json:"baseline,omitempty"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fatalf("usage: benchjson parse|compare [flags]")
+	}
+	switch os.Args[1] {
+	case "parse":
+		runParse(os.Args[2:])
+	case "compare":
+		runCompare(os.Args[2:])
+	default:
+		fatalf("unknown mode %q (want parse or compare)", os.Args[1])
+	}
+}
+
+func runParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	out := fs.String("out", "", "output JSON path (default stdout)")
+	label := fs.String("label", "", "label recorded in the file")
+	baseline := fs.String("baseline", "", "optional prior bench text to embed as the baseline section")
+	fs.Parse(args)
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fatalf("parse: %v", err)
+	}
+	if len(results) == 0 {
+		fatalf("parse: no benchmark lines on stdin")
+	}
+	f := File{Label: *label, Results: results}
+	if *baseline != "" {
+		bf, err := os.Open(*baseline)
+		if err != nil {
+			fatalf("parse: %v", err)
+		}
+		f.Baseline, err = parseBench(bf)
+		bf.Close()
+		if err != nil {
+			fatalf("parse baseline: %v", err)
+		}
+	}
+	enc, _ := json.MarshalIndent(f, "", "  ")
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatalf("write: %v", err)
+	}
+}
+
+// parseBench reads `go test -bench` text, keeping the best ns/op per name.
+func parseBench(r interface{ Read([]byte) (int, error) }) ([]Result, error) {
+	best := map[string]*Result{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		res, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if b, seen := best[res.Name]; seen {
+			b.Runs++
+			if res.NsPerOp < b.NsPerOp {
+				runs := b.Runs
+				*b = res
+				b.Runs = runs
+			}
+		} else {
+			res.Runs = 1
+			best[res.Name] = &res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(best))
+	for n := range best {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Result, 0, len(names))
+	for _, n := range names {
+		out = append(out, *best[n])
+	}
+	return out, nil
+}
+
+// parseLine handles one benchmark result line:
+//
+//	BenchmarkFoo-8   1234   987.6 ns/op   12 B/op   3 allocs/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix so entries compare across machines.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res := Result{Name: name}
+	found := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			found = true
+		case "B/op":
+			res.BPerOp = v
+		case "allocs/op":
+			res.AllocsOp = v
+		}
+	}
+	return res, found
+}
+
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	oldPath := fs.String("old", "", "baseline JSON file")
+	newPath := fs.String("new", "", "candidate JSON file")
+	gate := fs.String("gate", "", "comma-separated benchmark names that fail the build on regression")
+	maxRegress := fs.Float64("max-regress", 25, "max allowed ns/op regression for gated benchmarks, percent")
+	fs.Parse(args)
+	if *oldPath == "" || *newPath == "" {
+		fatalf("compare: -old and -new are required")
+	}
+
+	oldF, err := loadFile(*oldPath)
+	if err != nil {
+		fatalf("compare: %v", err)
+	}
+	newF, err := loadFile(*newPath)
+	if err != nil {
+		fatalf("compare: %v", err)
+	}
+	gated := map[string]bool{}
+	for _, g := range strings.Split(*gate, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gated[g] = true
+		}
+	}
+
+	oldBy := map[string]Result{}
+	for _, r := range oldF.Results {
+		oldBy[r.Name] = r
+	}
+	failed := 0
+	for _, nr := range newF.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok || or.NsPerOp == 0 {
+			fmt.Printf("%-32s %12.1f ns/op  (new)\n", nr.Name, nr.NsPerOp)
+			continue
+		}
+		delta := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		mark := ""
+		if gated[nr.Name] {
+			mark = " [gated]"
+			if delta > *maxRegress {
+				mark = " [gated] REGRESSION"
+				failed++
+			}
+		}
+		fmt.Printf("%-32s %12.1f -> %10.1f ns/op  %+6.1f%%%s\n",
+			nr.Name, or.NsPerOp, nr.NsPerOp, delta, mark)
+	}
+	for name := range gated {
+		if _, ok := oldBy[name]; !ok {
+			continue
+		}
+		if !hasResult(newF.Results, name) {
+			fmt.Printf("%-32s missing from %s\n", name, *newPath)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fatalf("compare: %d gated benchmark(s) regressed more than %.0f%%", failed, *maxRegress)
+	}
+}
+
+func hasResult(rs []Result, name string) bool {
+	for _, r := range rs {
+		if r.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func loadFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	err = json.Unmarshal(data, &f)
+	return f, err
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -59,6 +59,8 @@ func main() {
 
 		chaosMode = flag.Bool("chaos", false, "inject client-side faults (aborted predicts, slowloris probes, forced-panic probes); digest covers only the fault-free replay")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed for -chaos")
+
+		bench = flag.Bool("bench", false, "after the replay, report per-endpoint service time (ns/observe etc.) from the daemon's /debug/vars latency histograms")
 	)
 	flag.Parse()
 
@@ -114,8 +116,42 @@ func main() {
 	if *chaosMode {
 		reportServerResilience(base)
 	}
+	if *bench {
+		reportServiceTimes(base)
+	}
 	if rep.Errors > 0 {
 		os.Exit(1)
+	}
+}
+
+// reportServiceTimes fetches /debug/vars and prints each busy endpoint's
+// latency distribution as a benchmark-style line — the observe row is the
+// service-side cost of one LSO-wrapped predictor update (ns/observe). The
+// mean is estimated from the histogram's bucket midpoints; the quantiles
+// are bucket upper bounds.
+func reportServiceTimes(base string) {
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		log.Printf("predload: could not fetch /debug/vars for -bench: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Predsvc struct {
+			Metrics predsvc.MetricsSnapshot `json:"metrics"`
+		} `json:"predsvc"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		log.Printf("predload: bad /debug/vars response: %v", err)
+		return
+	}
+	for _, ep := range body.Predsvc.Metrics.Endpoints {
+		if ep.Requests == 0 {
+			continue
+		}
+		h := ep.Latency
+		fmt.Printf("bench: %-10s %8d reqs  ~%9.0f ns/%s  p50<%dµs p95<%dµs p99<%dµs\n",
+			ep.Name, ep.Requests, h.MeanUsec()*1000, ep.Name, h.P50Usec, h.P95Usec, h.P99Usec)
 	}
 }
 

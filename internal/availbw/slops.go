@@ -206,12 +206,12 @@ func (e *Estimator) sendStream(rate float64) []float64 {
 	for i := 0; i < e.cfg.StreamLength; i++ {
 		i := i
 		e.eng.Schedule(float64(i)*gap, func() {
-			e.path.A.Send(&netem.Packet{
-				Flow: e.flow,
-				Kind: netem.KindChirp,
-				Size: e.cfg.PacketSize,
-				Seq:  int64(i),
-			})
+			pkt := e.path.A.NewPacket()
+			pkt.Flow = e.flow
+			pkt.Kind = netem.KindChirp
+			pkt.Size = e.cfg.PacketSize
+			pkt.Seq = int64(i)
+			e.path.A.Send(pkt)
 		})
 	}
 	streamTime := float64(e.cfg.StreamLength)*gap + e.cfg.Timeout
@@ -225,9 +225,11 @@ func (e *Estimator) sendStream(rate float64) []float64 {
 
 func (e *Estimator) onChirp(pkt *netem.Packet) {
 	if pkt.Kind != netem.KindChirp {
+		e.path.B.ReleasePacket(pkt)
 		return
 	}
 	e.arrivals = append(e.arrivals, e.eng.Now()-pkt.SentAt)
+	e.path.B.ReleasePacket(pkt)
 }
 
 // probeRate sends StreamsPerRate streams at the rate and majority-votes the

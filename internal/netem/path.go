@@ -33,6 +33,10 @@ type Path struct {
 	Rev  []*Queue
 	A    *Endpoint
 	B    *Endpoint
+	// Pool recycles packets that complete their journey on this path. Both
+	// endpoints and all queues share it; see PacketPool for the ownership
+	// protocol.
+	Pool *PacketPool
 
 	eng *sim.Engine
 }
@@ -46,11 +50,19 @@ func NewPath(eng *sim.Engine, rng *sim.RNG, spec PathSpec) *Path {
 	if len(rev) == 0 {
 		rev = spec.Forward
 	}
-	p := &Path{Name: spec.Name, eng: eng}
+	p := &Path{Name: spec.Name, Pool: &PacketPool{}, eng: eng}
 	p.A = newEndpoint(eng, spec.Name+"/A")
 	p.B = newEndpoint(eng, spec.Name+"/B")
+	p.A.pool = p.Pool
+	p.B.pool = p.Pool
 	p.Fwd = buildChain(eng, rng, spec.Name+"/fwd", spec.Forward, p.B)
 	p.Rev = buildChain(eng, rng, spec.Name+"/rev", rev, p.A)
+	for _, q := range p.Fwd {
+		q.pool = p.Pool
+	}
+	for _, q := range p.Rev {
+		q.pool = p.Pool
+	}
 	p.A.out = p.Fwd[0]
 	p.B.out = p.Rev[0]
 	return p
@@ -114,16 +126,23 @@ type Endpoint struct {
 
 	eng      *sim.Engine
 	out      Receiver
+	pool     *PacketPool
 	handlers map[FlowID]Receiver
 	fallback Receiver
+	// fallbackIsDrop tracks whether fallback is the default discard sink.
+	// Receiver values are not comparable (they may be func types), so a
+	// flag — not an interface comparison — gates the pool release of
+	// packets for unregistered flows.
+	fallbackIsDrop bool
 }
 
 func newEndpoint(eng *sim.Engine, name string) *Endpoint {
 	return &Endpoint{
-		Name:     name,
-		eng:      eng,
-		handlers: make(map[FlowID]Receiver),
-		fallback: Drop,
+		Name:           name,
+		eng:            eng,
+		handlers:       make(map[FlowID]Receiver),
+		fallback:       Drop,
+		fallbackIsDrop: true,
 	}
 }
 
@@ -136,6 +155,16 @@ func (ep *Endpoint) Send(pkt *Packet) {
 // SendRaw injects without restamping SentAt (used by echo responders that
 // must preserve the original probe timestamp).
 func (ep *Endpoint) SendRaw(pkt *Packet) { ep.out.Receive(pkt) }
+
+// NewPacket acquires a zeroed packet from the path's pool (or allocates
+// when the endpoint was built without one). The caller owns it until it is
+// passed to Send or released with ReleasePacket.
+func (ep *Endpoint) NewPacket() *Packet { return ep.pool.Get() }
+
+// ReleasePacket returns an exhausted packet to the path's pool. Terminal
+// protocol handlers call this once they have extracted everything they
+// need; the packet must not be touched afterwards.
+func (ep *Endpoint) ReleasePacket(pkt *Packet) { ep.pool.Put(pkt) }
 
 // Register installs the handler for a flow. Registering nil removes it.
 func (ep *Endpoint) Register(flow FlowID, h Receiver) {
@@ -153,7 +182,10 @@ func (ep *Endpoint) Handler(flow FlowID) Receiver {
 }
 
 // SetFallback installs the handler for packets whose flow is unregistered.
+// A custom fallback takes ownership of the packets it receives; passing nil
+// restores the default discard sink, which recycles them.
 func (ep *Endpoint) SetFallback(h Receiver) {
+	ep.fallbackIsDrop = h == nil
 	if h == nil {
 		h = Drop
 	}
@@ -164,6 +196,12 @@ func (ep *Endpoint) SetFallback(h Receiver) {
 func (ep *Endpoint) Receive(pkt *Packet) {
 	if h, ok := ep.handlers[pkt.Flow]; ok {
 		h.Receive(pkt)
+		return
+	}
+	if ep.fallbackIsDrop {
+		// Unregistered flow, default sink: the demux is the terminal
+		// consumer, so it recycles the packet instead of leaking it to GC.
+		ep.pool.Put(pkt)
 		return
 	}
 	ep.fallback.Receive(pkt)

@@ -61,6 +61,7 @@ type Queue struct {
 
 	eng     *sim.Engine
 	rng     *sim.RNG
+	pool    *PacketPool // set when the queue belongs to a Path; nil-safe
 	fifo    []*Packet
 	head    int
 	qBytes  int
@@ -71,7 +72,9 @@ type Queue struct {
 }
 
 // QueueEvent describes a packet-level event at a queue, for tracing and
-// utilization accounting.
+// utilization accounting. Monitors must read Pkt synchronously and not
+// retain it: dropped packets are recycled into the path's pool immediately
+// after the EvDrop callback returns.
 type QueueEvent struct {
 	Time    float64
 	Kind    QueueEventKind
@@ -131,21 +134,26 @@ func (q *Queue) TransmissionTime(size int) float64 {
 func (q *Queue) Receive(pkt *Packet) {
 	q.stats.Arrivals++
 	q.stats.BytesIn += int64(pkt.Size)
+	// Drop sites release the packet to the pool: a dropped packet's journey
+	// ends here, and the monitor (emit) has already seen it synchronously.
 	if q.LossProb > 0 && q.rng != nil && q.rng.Bool(q.LossProb) {
 		q.stats.Drops++
 		q.stats.RandomLoss++
 		q.emit(EvDrop, pkt)
+		q.pool.Put(pkt)
 		return
 	}
 	if q.qBytes+pkt.Size > q.BufferBytes ||
 		(q.BufferPackets > 0 && len(q.fifo)-q.head >= q.BufferPackets) {
 		q.stats.Drops++
 		q.emit(EvDrop, pkt)
+		q.pool.Put(pkt)
 		return
 	}
 	if q.RED && q.redDrop(pkt) {
 		q.stats.Drops++
 		q.emit(EvDrop, pkt)
+		q.pool.Put(pkt)
 		return
 	}
 	q.fifo = append(q.fifo, pkt)

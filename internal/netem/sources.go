@@ -25,6 +25,7 @@ type PoissonSource struct {
 
 	eng     *sim.Engine
 	rng     *sim.RNG
+	pool    *PacketPool
 	stopped bool
 	sent    int64
 }
@@ -42,7 +43,21 @@ func NewPoissonSource(eng *sim.Engine, rng *sim.RNG, flow FlowID, rateBps float6
 }
 
 // Start begins packet generation.
-func (s *PoissonSource) Start() { s.scheduleNext() }
+func (s *PoissonSource) Start() {
+	s.pool = poolOf(s.Out)
+	s.scheduleNext()
+}
+
+// poolOf discovers the packet pool behind a source's output receiver.
+// Cross-traffic sources are normally pointed at a path queue; emitting from
+// that path's pool lets the endpoint's default-Drop fallback recycle the
+// packets. Any other receiver gets plain allocations (nil pool).
+func poolOf(out Receiver) *PacketPool {
+	if q, ok := out.(*Queue); ok {
+		return q.pool
+	}
+	return nil
+}
 
 // Stop halts generation after any in-flight event.
 func (s *PoissonSource) Stop() { s.stopped = true }
@@ -66,12 +81,12 @@ func (s *PoissonSource) scheduleNext() {
 			return
 		}
 		s.sent += int64(s.Size)
-		s.Out.Receive(&Packet{
-			Flow:   s.Flow,
-			Kind:   KindCross,
-			Size:   s.Size,
-			SentAt: s.eng.Now(),
-		})
+		pkt := s.pool.Get()
+		pkt.Flow = s.Flow
+		pkt.Kind = KindCross
+		pkt.Size = s.Size
+		pkt.SentAt = s.eng.Now()
+		s.Out.Receive(pkt)
 		s.scheduleNext()
 	})
 }
@@ -93,6 +108,7 @@ type ParetoOnOffSource struct {
 
 	eng     *sim.Engine
 	rng     *sim.RNG
+	pool    *PacketPool
 	stopped bool
 	sent    int64
 	on      bool
@@ -115,7 +131,10 @@ func NewParetoOnOffSource(eng *sim.Engine, rng *sim.RNG, flow FlowID, peakBps fl
 }
 
 // Start begins the ON/OFF cycle (starting OFF).
-func (s *ParetoOnOffSource) Start() { s.startOff() }
+func (s *ParetoOnOffSource) Start() {
+	s.pool = poolOf(s.Out)
+	s.startOff()
+}
 
 // Stop halts generation.
 func (s *ParetoOnOffSource) Stop() { s.stopped = true }
@@ -172,12 +191,12 @@ func (s *ParetoOnOffSource) emit() {
 		return
 	}
 	s.sent += int64(s.Size)
-	s.Out.Receive(&Packet{
-		Flow:   s.Flow,
-		Kind:   KindCross,
-		Size:   s.Size,
-		SentAt: s.eng.Now(),
-	})
+	pkt := s.pool.Get()
+	pkt.Flow = s.Flow
+	pkt.Kind = KindCross
+	pkt.Size = s.Size
+	pkt.SentAt = s.eng.Now()
+	s.Out.Receive(pkt)
 	gap := float64(s.Size) * 8 / s.PeakRateBps
 	s.eng.Schedule(gap, s.emit)
 }

@@ -48,9 +48,13 @@ func (c LSOConfig) defaults() LSOConfig {
 //     samples follow X_k — cause all history before X_k to be discarded
 //     and the inner predictor to restart from X_k.
 //
-// After every observation the inner predictor is rebuilt by replaying the
-// retained non-outlier history, so outlier/shift relabelling stays
-// consistent as new data arrives.
+// Observations are processed incrementally: the window's order statistics
+// are maintained by insertion into a sorted scratch slice rather than a
+// per-call sort, and the inner predictor is only rebuilt by replay when the
+// outlier/shift labelling of the retained history actually changes — when
+// the new sample merely extends the clean series, one inner Observe
+// suffices. The forecasts are bit-for-bit identical to rebuilding from
+// scratch every observation (see TestLSOIncrementalMatchesNaive).
 type LSO struct {
 	cfg   LSOConfig
 	inner HB
@@ -60,6 +64,19 @@ type LSO struct {
 	// currently labelled as outliers.
 	Shifts   int
 	Outliers int
+
+	// Incremental scratch state, reused across observations so the
+	// steady-state Observe path performs no allocations.
+	sorted     []float64 // history's values in ascending order
+	mask       []bool    // outlier mask over history
+	deviant    []bool    // scratch: |x-med|/med > ψ flags
+	clean      []float64 // history minus outliers
+	lastClean  []float64 // clean series the inner predictor has absorbed
+	prefMin    []float64 // prefix/suffix extrema for the shift scan
+	prefMax    []float64
+	sufMin     []float64
+	sufMax     []float64
+	medScratch []float64 // segment-median scratch for shift candidates
 }
 
 // NewLSO wraps inner with the LSO heuristics.
@@ -76,6 +93,8 @@ func (l *LSO) Predict() (float64, bool) { return l.inner.Predict() }
 // Reset implements HB.
 func (l *LSO) Reset() {
 	l.history = l.history[:0]
+	l.sorted = l.sorted[:0]
+	l.lastClean = l.lastClean[:0]
 	l.inner.Reset()
 	l.Shifts = 0
 	l.Outliers = 0
@@ -86,46 +105,123 @@ func (l *LSO) History() int { return len(l.history) }
 
 // Observe implements HB.
 func (l *LSO) Observe(x float64) {
-	l.history = append(l.history, x)
-	if len(l.history) > l.cfg.MaxHistory {
-		l.history = l.history[len(l.history)-l.cfg.MaxHistory:]
+	if cap(l.history) < l.cfg.MaxHistory {
+		h := make([]float64, len(l.history), l.cfg.MaxHistory)
+		copy(h, l.history)
+		l.history = h
 	}
+	if len(l.history) == l.cfg.MaxHistory {
+		// Window slide: evict the head in place and drop its order-statistic
+		// entry, keeping both backing arrays stable.
+		l.sortedRemove(l.history[0])
+		copy(l.history, l.history[1:])
+		l.history[len(l.history)-1] = x
+	} else {
+		l.history = append(l.history, x)
+	}
+	l.sortedInsert(x)
 
-	clean, outliers := l.removeOutliers(l.history)
-	if k := l.findLevelShift(clean); k > 0 {
+	l.computeClean()
+	if k := l.findLevelShift(l.clean); k > 0 {
 		l.Shifts++
 		// Restart from the shift point: translate the index in the clean
 		// series back to the raw history and drop everything before it.
-		raw := l.cleanIndexToRaw(k, outliers)
-		l.history = append([]float64(nil), l.history[raw:]...)
-		clean, outliers = l.removeOutliers(l.history)
+		raw := l.cleanIndexToRaw(k, l.mask)
+		n := copy(l.history, l.history[raw:])
+		l.history = l.history[:n]
+		l.rebuildSorted()
+		l.computeClean()
 	}
-	l.Outliers = countTrue(outliers)
+	l.Outliers = countTrue(l.mask)
 
-	l.inner.Reset()
-	for _, v := range clean {
-		l.inner.Observe(v)
+	// Replay the inner predictor only when the labelling of the retained
+	// history changed. In the common case the clean series is exactly what
+	// the inner predictor already absorbed plus the new sample, and a
+	// single incremental Observe produces the identical state.
+	if l.cleanExtendsLast() {
+		l.inner.Observe(x)
+	} else {
+		l.inner.Reset()
+		for _, v := range l.clean {
+			l.inner.Observe(v)
+		}
 	}
+	l.lastClean = append(l.lastClean[:0], l.clean...)
 }
 
-// removeOutliers returns the samples that are not outliers, plus the
-// outlier mask over the raw window. A sample is an outlier if it deviates
-// from the window median by more than ψ in relative terms AND is part of a
-// short (≤2 samples), already-ended run of such deviations. Longer runs,
-// and runs still in progress at the end of the window, are candidate level
-// shifts and must stay in the history for the shift detector — otherwise a
-// genuine shift would be shredded into "outliers" before it can ever be
-// recognized.
-func (l *LSO) removeOutliers(xs []float64) ([]float64, []bool) {
-	mask := make([]bool, len(xs))
+// cleanExtendsLast reports whether clean == lastClean + [newest sample],
+// i.e. no prior sample was relabelled and no window slide or shift
+// discarded absorbed history.
+func (l *LSO) cleanExtendsLast() bool {
+	n := len(l.lastClean)
+	if len(l.clean) != n+1 {
+		return false
+	}
+	for i, v := range l.lastClean {
+		if l.clean[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedInsert adds v to the ascending order-statistics view.
+func (l *LSO) sortedInsert(v float64) {
+	i := sort.SearchFloat64s(l.sorted, v)
+	l.sorted = append(l.sorted, 0)
+	copy(l.sorted[i+1:], l.sorted[i:])
+	l.sorted[i] = v
+}
+
+// sortedRemove deletes one instance of v from the view.
+func (l *LSO) sortedRemove(v float64) {
+	i := sort.SearchFloat64s(l.sorted, v)
+	copy(l.sorted[i:], l.sorted[i+1:])
+	l.sorted = l.sorted[:len(l.sorted)-1]
+}
+
+// rebuildSorted reconstructs the view after a level-shift truncation.
+func (l *LSO) rebuildSorted() {
+	l.sorted = append(l.sorted[:0], l.history...)
+	sort.Float64s(l.sorted)
+}
+
+// windowMedian returns the median of the raw window in O(1) from the
+// maintained order statistics.
+func (l *LSO) windowMedian() float64 {
+	n := len(l.sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return l.sorted[n/2]
+	}
+	return (l.sorted[n/2-1] + l.sorted[n/2]) / 2
+}
+
+// computeClean refreshes l.mask (the outlier mask over the raw window) and
+// l.clean (the non-outlier samples), reusing the scratch buffers. A sample
+// is an outlier if it deviates from the window median by more than ψ in
+// relative terms AND is part of a short (≤2 samples), already-ended run of
+// such deviations. Longer runs, and runs still in progress at the end of
+// the window, are candidate level shifts and must stay in the history for
+// the shift detector — otherwise a genuine shift would be shredded into
+// "outliers" before it can ever be recognized.
+func (l *LSO) computeClean() {
+	xs := l.history
+	l.mask = growBool(l.mask, len(xs))
+	l.clean = l.clean[:0]
 	if len(xs) < 3 {
-		return append([]float64(nil), xs...), mask
+		l.clean = append(l.clean, xs...)
+		return
 	}
-	med := medianOf(xs)
+	med := l.windowMedian()
 	if med <= 0 {
-		return append([]float64(nil), xs...), mask
+		l.clean = append(l.clean, xs...)
+		return
 	}
-	deviant := make([]bool, len(xs))
+	l.deviant = growBool(l.deviant, len(xs))
+	deviant := l.deviant
 	for i, v := range xs {
 		deviant[i] = relDiff(v, med) > l.cfg.Psi
 	}
@@ -140,46 +236,108 @@ func (l *LSO) removeOutliers(xs []float64) ([]float64, []bool) {
 		}
 		if j-i <= 2 && j < len(xs) {
 			for k := i; k < j; k++ {
-				mask[k] = true
+				l.mask[k] = true
 			}
 		}
 		i = j
 	}
-	clean := make([]float64, 0, len(xs))
 	for i, v := range xs {
-		if !mask[i] {
-			clean = append(clean, v)
+		if !l.mask[i] {
+			l.clean = append(l.clean, v)
 		}
 	}
-	return clean, mask
+}
+
+// growBool resizes a scratch mask to n false entries without reallocating
+// in steady state.
+func growBool(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
 }
 
 // findLevelShift returns the index k (in the clean series) of a detected
 // level shift, or 0 if none. When several k qualify it picks the one with
 // the largest relative median difference.
+//
+// The strict-separation screen (every sample before k below/above every
+// sample from k on) runs over precomputed prefix/suffix extrema, turning
+// the scan from O(n²) comparisons per observation into O(n); the segment
+// medians, which do need a sort, are only computed for the rare candidates
+// that survive the screen.
 func (l *LSO) findLevelShift(xs []float64) int {
 	n := len(xs)
 	if n < 4 {
 		return 0
 	}
+	l.prefMin = append(l.prefMin[:0], xs[0])
+	l.prefMax = append(l.prefMax[:0], xs[0])
+	for i := 1; i < n; i++ {
+		mn, mx := l.prefMin[i-1], l.prefMax[i-1]
+		if xs[i] < mn {
+			mn = xs[i]
+		}
+		if xs[i] > mx {
+			mx = xs[i]
+		}
+		l.prefMin = append(l.prefMin, mn)
+		l.prefMax = append(l.prefMax, mx)
+	}
+	l.sufMin = growFloat(l.sufMin, n)
+	l.sufMax = growFloat(l.sufMax, n)
+	l.sufMin[n-1], l.sufMax[n-1] = xs[n-1], xs[n-1]
+	for i := n - 2; i >= 0; i-- {
+		mn, mx := l.sufMin[i+1], l.sufMax[i+1]
+		if xs[i] < mn {
+			mn = xs[i]
+		}
+		if xs[i] > mx {
+			mx = xs[i]
+		}
+		l.sufMin[i], l.sufMax[i] = mn, mx
+	}
 	bestK, bestDiff := 0, 0.0
 	// Condition 3: k+2 ≤ n with 1-based indexing, i.e. at least two
 	// samples follow X_k. With 0-based k: k ≤ n-3.
 	for k := 1; k <= n-3; k++ {
-		lowMax, lowMin := maxOf(xs[:k]), minOf(xs[:k])
-		hiMax, hiMin := maxOf(xs[k:]), minOf(xs[k:])
-		increasing := lowMax < hiMin
-		decreasing := lowMin > hiMax
+		increasing := l.prefMax[k-1] < l.sufMin[k]
+		decreasing := l.prefMin[k-1] > l.sufMax[k]
 		if !increasing && !decreasing {
 			continue
 		}
-		m1, m2 := medianOf(xs[:k]), medianOf(xs[k:])
+		m1, m2 := l.medianInto(xs[:k]), l.medianInto(xs[k:])
 		d := relDiff(m1, m2)
 		if d > l.cfg.Gamma && d > bestDiff {
 			bestK, bestDiff = k, d
 		}
 	}
 	return bestK
+}
+
+// medianInto computes a segment median through the reusable scratch slice.
+func (l *LSO) medianInto(xs []float64) float64 {
+	l.medScratch = append(l.medScratch[:0], xs...)
+	sort.Float64s(l.medScratch)
+	n := len(l.medScratch)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return l.medScratch[n/2]
+	}
+	return (l.medScratch[n/2-1] + l.medScratch[n/2]) / 2
+}
+
+func growFloat(xs []float64, n int) []float64 {
+	if cap(xs) < n {
+		return make([]float64, n)
+	}
+	return xs[:n]
 }
 
 // cleanIndexToRaw maps index k of the outlier-free series to the

@@ -232,6 +232,12 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 			},
 		}
 	}
+	// Close pooled connections when the replay is done. Under CPU
+	// contention the transport dials speculative spare connections that
+	// never carry a request; on the server side those sit in StateNew,
+	// which http.Server.Shutdown does not close — a graceful shutdown
+	// right after a replay would stall its full timeout waiting on them.
+	defer client.CloseIdleConnections()
 
 	// Chaos mode: one shared seeded injector across workers. Each
 	// per-epoch evaluation consumes one draw under the injector's lock, so

@@ -81,6 +81,27 @@ func (s HistogramSnapshot) quantile(q float64) uint64 {
 	return uint64(1) << (histBuckets - 1)
 }
 
+// MeanUsec estimates the mean latency in microseconds from the bucket
+// midpoints (bucket 0 covers [0,1) µs; bucket i covers [2^(i-1), 2^i) µs).
+// It is what `predload -bench` reports as ns/observe.
+func (s HistogramSnapshot) MeanUsec() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		mid := 0.5
+		if i > 0 {
+			mid = (float64(uint64(1)<<uint(i-1)) + float64(uint64(1)<<uint(i))) / 2
+		}
+		sum += mid * float64(c)
+	}
+	return sum / float64(s.Total)
+}
+
 // Metrics holds the service's atomic counters. All fields are safe for
 // concurrent update; Snapshot produces a consistent-enough JSON view
 // (counters are read individually, not under a global lock).

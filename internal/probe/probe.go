@@ -58,17 +58,15 @@ func NewResponder(ep *netem.Endpoint, flow netem.FlowID) *Responder {
 
 func (r *Responder) onProbe(pkt *netem.Packet) {
 	if pkt.Kind != netem.KindProbe {
+		r.out.ReleasePacket(pkt)
 		return
 	}
-	// Echo preserves the original departure stamp so the prober computes a
-	// full round-trip time.
-	r.out.SendRaw(&netem.Packet{
-		Flow:   pkt.Flow,
-		Kind:   netem.KindEcho,
-		Size:   pkt.Size,
-		Seq:    pkt.Seq,
-		SentAt: pkt.SentAt,
-	})
+	// Turn the probe around in place: flipping Kind and re-injecting the
+	// same packet keeps the echo path allocation-free, and SendRaw
+	// preserves the original departure stamp so the prober computes a full
+	// round-trip time.
+	pkt.Kind = netem.KindEcho
+	r.out.SendRaw(pkt)
 }
 
 // Prober sends periodic probes and accumulates RTT/loss statistics. A
@@ -82,14 +80,14 @@ type Prober struct {
 	flow netem.FlowID
 
 	nextSeq   int64
-	pending   map[int64]*sim.Timer
+	pending   map[int64]sim.Timer
 	sent      int
 	received  int
 	rttSum    float64
 	rttMin    float64
 	rttMax    float64
 	running   bool
-	tickTimer *sim.Timer
+	tickTimer sim.Timer
 }
 
 // NewProber creates a prober for flow on endpoint ep. The far endpoint
@@ -101,7 +99,7 @@ func NewProber(eng *sim.Engine, ep *netem.Endpoint, flow netem.FlowID, cfg Confi
 		eng:     eng,
 		out:     ep,
 		flow:    flow,
-		pending: make(map[int64]*sim.Timer),
+		pending: make(map[int64]sim.Timer),
 	}
 	ep.Register(flow, netem.ReceiverFunc(p.onEcho))
 	return p
@@ -121,9 +119,7 @@ func (p *Prober) Start() {
 // in-flight skew.
 func (p *Prober) Stop() {
 	p.running = false
-	if p.tickTimer != nil {
-		p.tickTimer.Cancel()
-	}
+	p.tickTimer.Cancel()
 }
 
 // Running reports whether the prober is active.
@@ -136,12 +132,12 @@ func (p *Prober) tick() {
 	seq := p.nextSeq
 	p.nextSeq++
 	p.sent++
-	p.out.Send(&netem.Packet{
-		Flow: p.flow,
-		Kind: netem.KindProbe,
-		Size: p.cfg.ProbeSize,
-		Seq:  seq,
-	})
+	pkt := p.out.NewPacket()
+	pkt.Flow = p.flow
+	pkt.Kind = netem.KindProbe
+	pkt.Size = p.cfg.ProbeSize
+	pkt.Seq = seq
+	p.out.Send(pkt)
 	p.pending[seq] = p.eng.Schedule(p.cfg.LossTimeout, func() {
 		// Timeout: the probe (or its echo) was lost. The counter already
 		// includes it in sent; removing it from pending marks the loss.
@@ -152,15 +148,18 @@ func (p *Prober) tick() {
 
 func (p *Prober) onEcho(pkt *netem.Packet) {
 	if pkt.Kind != netem.KindEcho {
+		p.out.ReleasePacket(pkt)
 		return
 	}
-	timer, ok := p.pending[pkt.Seq]
+	seq, sentAt := pkt.Seq, pkt.SentAt
+	p.out.ReleasePacket(pkt)
+	timer, ok := p.pending[seq]
 	if !ok {
 		return // echo arrived after its loss timeout; counted as lost
 	}
 	timer.Cancel()
-	delete(p.pending, pkt.Seq)
-	rtt := p.eng.Now() - pkt.SentAt
+	delete(p.pending, seq)
+	rtt := p.eng.Now() - sentAt
 	p.received++
 	p.rttSum += rtt
 	if p.rttMin == 0 || rtt < p.rttMin {

@@ -155,7 +155,7 @@ func TestStop(t *testing.T) {
 
 func TestPendingSkipsCancelled(t *testing.T) {
 	eng := NewEngine()
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 10; i++ {
 		timers = append(timers, eng.Schedule(float64(i+1), func() {}))
 	}
@@ -184,7 +184,7 @@ func TestPendingSkipsCancelled(t *testing.T) {
 func TestHeapCompaction(t *testing.T) {
 	eng := NewEngine()
 	var fired []float64
-	var cancelled []*Timer
+	var cancelled []Timer
 	const n = 1000
 	for i := 0; i < n; i++ {
 		at := float64(i + 1)
@@ -198,7 +198,7 @@ func TestHeapCompaction(t *testing.T) {
 		tm.Cancel()
 	}
 	// Compaction must have dropped the dead entries from the heap.
-	if got := len(eng.events); got > n/5 {
+	if got := len(eng.heap); got > n/5 {
 		t.Errorf("heap holds %d entries after mass cancel, want ≤ %d", got, n/5)
 	}
 	if eng.Pending() != n/10 {
@@ -218,7 +218,7 @@ func TestHeapCompaction(t *testing.T) {
 func TestCompactionPreservesFIFO(t *testing.T) {
 	eng := NewEngine()
 	var fired []int
-	var cancelled []*Timer
+	var cancelled []Timer
 	for i := 0; i < 200; i++ {
 		i := i
 		eng.At(5, func() { fired = append(fired, i) })

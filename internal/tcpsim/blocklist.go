@@ -15,18 +15,27 @@ type blockList struct {
 	blocks []Block
 }
 
-// Add merges [start, end) into the list.
+// Add merges [start, end) into the list. It mutates the backing array in
+// place — during SACK-heavy recovery Add runs on every ACK against a
+// scoreboard of O(cwnd) blocks, and reallocating the slice per call was
+// the simulator's single largest allocation site.
 func (l *blockList) Add(start, end int64) {
 	if end <= start {
 		return
 	}
 	bs := l.blocks
 	// Find insertion window: all blocks overlapping or adjacent to
-	// [start, end) get coalesced.
-	i := 0
-	for i < len(bs) && bs[i].End < start {
-		i++
+	// [start, end) get coalesced. Binary search for the first candidate.
+	lo, hi := 0, len(bs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bs[mid].End < start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
+	i := lo
 	j := i
 	for j < len(bs) && bs[j].Start <= end {
 		if bs[j].Start < start {
@@ -37,9 +46,21 @@ func (l *blockList) Add(start, end int64) {
 		}
 		j++
 	}
-	merged := append(bs[:i:i], Block{start, end})
-	merged = append(merged, bs[j:]...)
-	l.blocks = merged
+	if i == j {
+		// Nothing to coalesce: open a slot at i.
+		bs = append(bs, Block{})
+		copy(bs[i+1:], bs[i:])
+		bs[i] = Block{start, end}
+		l.blocks = bs
+		return
+	}
+	// Collapse blocks[i:j] into the merged range.
+	bs[i] = Block{start, end}
+	if j > i+1 {
+		n := copy(bs[i+1:], bs[j:])
+		bs = bs[:i+1+n]
+	}
+	l.blocks = bs
 }
 
 // Contains reports whether seq is covered.

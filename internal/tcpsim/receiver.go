@@ -18,7 +18,7 @@ type Receiver struct {
 	cumAck     int64 // next expected segment
 	ooo        blockList
 	unacked    int // in-order segments since last ACK (delayed-ACK counter)
-	delayTimer *sim.Timer
+	delayTimer sim.Timer
 
 	// SegmentsReceived counts data segments that arrived (including
 	// duplicates of already-delivered segments).
@@ -42,9 +42,7 @@ func NewReceiver(eng *sim.Engine, ep *netem.Endpoint, flow netem.FlowID, cfg Con
 // Stop deregisters the receiver and cancels its delayed-ACK timer.
 func (r *Receiver) Stop() {
 	r.out.Register(r.flow, nil)
-	if r.delayTimer != nil {
-		r.delayTimer.Cancel()
-	}
+	r.delayTimer.Cancel()
 }
 
 // NextExpected returns the next expected segment number.
@@ -55,10 +53,14 @@ func (r *Receiver) BytesDelivered() int64 { return r.cumAck * int64(r.cfg.MSS) }
 
 func (r *Receiver) onData(pkt *netem.Packet) {
 	if pkt.Kind != netem.KindData {
+		r.out.ReleasePacket(pkt)
 		return
 	}
 	r.SegmentsReceived++
 	seq := pkt.Seq
+	// Terminal consumer: everything needed is in seq; recycle the segment
+	// so the ACK (and the sender's next data packet) can reuse it.
+	r.out.ReleasePacket(pkt)
 	switch {
 	case seq == r.cumAck:
 		r.cumAck++
@@ -74,7 +76,7 @@ func (r *Receiver) onData(pkt *netem.Packet) {
 		r.unacked++
 		if !r.cfg.DelayedAck || r.unacked >= 2 {
 			r.sendAck()
-		} else if r.delayTimer == nil || !r.delayTimer.Pending() {
+		} else if !r.delayTimer.Pending() {
 			r.delayTimer = r.eng.Schedule(r.cfg.DelAckTimeout, r.onDelayTimeout)
 		}
 	case seq > r.cumAck:
@@ -96,15 +98,12 @@ func (r *Receiver) onDelayTimeout() {
 
 func (r *Receiver) sendAck() {
 	r.unacked = 0
-	if r.delayTimer != nil {
-		r.delayTimer.Cancel()
-	}
-	pkt := &netem.Packet{
-		Flow: r.flow,
-		Kind: netem.KindAck,
-		Size: r.cfg.HeaderBytes,
-		Ack:  r.cumAck,
-	}
+	r.delayTimer.Cancel()
+	pkt := r.out.NewPacket()
+	pkt.Flow = r.flow
+	pkt.Kind = netem.KindAck
+	pkt.Size = r.cfg.HeaderBytes
+	pkt.Ack = r.cumAck
 	if !r.cfg.NoSACK && r.ooo.Count() > 0 {
 		pkt.Meta = r.ooo.Snapshot()
 	}

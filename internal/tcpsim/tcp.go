@@ -177,7 +177,7 @@ type Sender struct {
 	srtt, rttvar float64
 	rto          float64
 	backoff      int
-	rtoTimer     *sim.Timer
+	rtoTimer     sim.Timer
 
 	// Timed-segment RTT sampling (Karn's algorithm).
 	timing   bool
@@ -232,10 +232,8 @@ func (s *Sender) Start() {
 // remain readable.
 func (s *Sender) Stop() {
 	s.stopped = true
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Cancel()
+	s.rtoTimer = sim.Timer{}
 	s.out.Register(s.flow, nil)
 }
 
@@ -351,21 +349,19 @@ func (s *Sender) transmit(seq int64, isRetransmit bool) {
 		s.timedSeq = seq
 		s.timedAt = s.eng.Now()
 	}
-	s.out.Send(&netem.Packet{
-		Flow: s.flow,
-		Kind: netem.KindData,
-		Size: s.cfg.MSS + s.cfg.HeaderBytes,
-		Seq:  seq,
-	})
-	if s.rtoTimer == nil || !s.rtoTimer.Pending() {
+	pkt := s.out.NewPacket()
+	pkt.Flow = s.flow
+	pkt.Kind = netem.KindData
+	pkt.Size = s.cfg.MSS + s.cfg.HeaderBytes
+	pkt.Seq = seq
+	s.out.Send(pkt)
+	if !s.rtoTimer.Pending() {
 		s.armRTO()
 	}
 }
 
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-	}
+	s.rtoTimer.Cancel()
 	d := s.rto * float64(int64(1)<<uint(s.backoff))
 	if d > s.cfg.MaxRTO {
 		d = s.cfg.MaxRTO
@@ -442,6 +438,7 @@ func (s *Sender) recordRTT(rtt float64) {
 
 func (s *Sender) onAck(pkt *netem.Packet) {
 	if s.stopped || pkt.Kind != netem.KindAck {
+		s.out.ReleasePacket(pkt)
 		return
 	}
 	s.stats.AcksReceived++
@@ -451,6 +448,9 @@ func (s *Sender) onAck(pkt *netem.Packet) {
 		}
 	}
 	ack := pkt.Ack
+	// The ACK is fully consumed; recycle it before the send burst it may
+	// trigger, so trySend can reuse the very packet that clocked it out.
+	s.out.ReleasePacket(pkt)
 	switch {
 	case ack > s.highestAck:
 		s.onNewAck(ack)
@@ -660,7 +660,7 @@ func (s *Sender) onNewAck(ack int64) {
 
 	if s.nextSeq > s.highestAck {
 		s.armRTO()
-	} else if s.rtoTimer != nil {
+	} else {
 		s.rtoTimer.Cancel()
 	}
 	s.finishAck()
@@ -670,9 +670,7 @@ func (s *Sender) finishAck() {
 	s.stats.BytesAcked = s.highestAck * int64(s.cfg.MSS)
 	if s.limitSegments > 0 && s.highestAck >= s.limitSegments {
 		s.stats.BytesAcked = s.limitSegments * int64(s.cfg.MSS)
-		if s.rtoTimer != nil {
-			s.rtoTimer.Cancel()
-		}
+		s.rtoTimer.Cancel()
 		if s.done != nil {
 			done := s.done
 			s.done = nil

@@ -1,0 +1,81 @@
+#!/bin/sh
+# bench.sh — tracked benchmark runs. Runs the substrate micro-benches and
+# the campaign macro-benches N times, distills the output into
+# BENCH_<pr>.json (best ns/op, B/op, allocs/op per benchmark), and compares
+# against the most recent committed BENCH_*.json, failing on a >25% ns/op
+# regression in the gated hot-path benchmarks.
+#
+# Usage:
+#   scripts/bench.sh           full run; writes BENCH_<next>.json
+#   scripts/bench.sh -short    CI mode: micro + hot-path benches only, one
+#                              pass, compare-only (nothing written)
+#   scripts/bench.sh 7         full run; writes BENCH_7.json
+#
+# See DESIGN.md §10 for how to read the JSON.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GATE='BenchmarkEngineEvents,BenchmarkTCPTransfer,BenchmarkHWLSOObserve'
+MAX_REGRESS=25
+
+short=0
+pr=""
+for arg in "$@"; do
+    case "$arg" in
+    -short) short=1 ;;
+    *) pr="$arg" ;;
+    esac
+done
+
+# The latest committed BENCH_*.json is the comparison baseline.
+latest=""
+for f in $(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); do
+    latest="$f"
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+if [ "$short" = 1 ]; then
+    # CI mode: the hot-path benches only (the figure benches need a multi-
+    # second dataset collection), one pass, reduced benchtime.
+    echo "==> go test -bench (short)"
+    go test -bench 'BenchmarkEngineEvents|BenchmarkEngineSchedCancel|BenchmarkPacketPath|BenchmarkQueueForwarding|BenchmarkTCPTransfer|BenchmarkHWLSOObserve|BenchmarkPFTK' \
+        -benchmem -benchtime 0.3s -run '^$' -count 1 . | tee "$tmp/bench.txt"
+    go run ./cmd/benchjson parse -label short <"$tmp/bench.txt" >"$tmp/new.json"
+    if [ -n "$latest" ]; then
+        echo "==> compare vs $latest (gate: >$MAX_REGRESS% on $GATE)"
+        go run ./cmd/benchjson compare -old "$latest" -new "$tmp/new.json" \
+            -gate "$GATE" -max-regress "$MAX_REGRESS"
+    else
+        echo "==> no committed BENCH_*.json baseline; skipping compare"
+    fi
+    echo "OK"
+    exit 0
+fi
+
+# Full run: everything, three passes (benchjson keeps the best of each).
+if [ -z "$pr" ]; then
+    if [ -n "$latest" ]; then
+        pr=$(( $(echo "$latest" | sed 's/BENCH_\([0-9]*\).json/\1/') + 1 ))
+    else
+        pr=1
+    fi
+fi
+out="BENCH_${pr}.json"
+
+echo "==> go test -bench . -count 3 (writes $out)"
+go test -bench . -benchmem -run '^$' -count 3 . | tee "$tmp/bench.txt"
+
+if [ -n "$latest" ] && [ "$latest" != "$out" ]; then
+    # Embed the previous tree's numbers so the file carries before/after.
+    go run ./cmd/benchjson parse -label "pr$pr" <"$tmp/bench.txt" >"$tmp/new.json"
+    echo "==> compare vs $latest (gate: >$MAX_REGRESS% on $GATE)"
+    go run ./cmd/benchjson compare -old "$latest" -new "$tmp/new.json" \
+        -gate "$GATE" -max-regress "$MAX_REGRESS"
+    cp "$tmp/new.json" "$out"
+else
+    go run ./cmd/benchjson parse -label "pr$pr" <"$tmp/bench.txt" >"$out"
+fi
+echo "wrote $out"
