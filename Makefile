@@ -3,10 +3,16 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench loadtest
+.PHONY: check lint fmt vet build test race bench loadtest
 
 check:
 	./scripts/check.sh
+
+# Static analysis mirroring the CI lint job: gofmt, vet, and — when the
+# tools are installed — staticcheck and govulncheck (skipped with a note
+# otherwise; CI always installs them).
+lint:
+	./scripts/lint.sh
 
 fmt:
 	gofmt -w .

@@ -13,6 +13,14 @@
 // panic inside a handler, and ~10% of requests stall 5ms in-handler so a
 // tight -max-inflight genuinely sheds.
 //
+// Observability is on by default (disable with -no-obs): the listener
+// also serves /metrics (Prometheus text exposition of every service
+// counter, latency histogram and accuracy gauge), /debug/pprof/ (standard
+// Go profiles), and /debug/trace (recent request spans in Chrome
+// trace_event format; /debug/trace.txt for the plain-text tree). These
+// endpoints bypass the load-shedding middleware, so scrapes and profile
+// grabs keep working exactly when the API is refusing traffic.
+//
 // Example:
 //
 //	predserverd -addr :8355 -capacity 8192 -snapshot /tmp/predsvc.json -snapshot-interval 30s
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/predsvc"
 )
 
@@ -53,10 +62,19 @@ func main() {
 		requestTO   = flag.Duration("request-timeout", 0, "per-request deadline (0 = default 15s, negative = off)")
 		chaosMode   = flag.Bool("chaos", false, "seeded fault injection: snapshot writes fail ~50% of the time, X-Chaos-Panic requests panic in-handler")
 		chaosSeed   = flag.Int64("chaos-seed", 1, "fault-injection seed for -chaos")
+
+		noObs    = flag.Bool("no-obs", false, "disable the observability endpoints (/metrics, /debug/pprof/, /debug/trace)")
+		obsSpans = flag.Int("obs-spans", obs.DefaultSpanCapacity, "completed request spans retained for /debug/trace")
 	)
 	flag.Parse()
 
+	var o *obs.Obs
+	if !*noObs {
+		o = obs.New(*obsSpans)
+	}
+
 	cfg := predsvc.Config{
+		Obs:               o,
 		Shards:            *shards,
 		Capacity:          *capacity,
 		ErrorWindow:       *errWindow,
@@ -106,6 +124,10 @@ func main() {
 	}
 	log.Printf("predserverd: serving on http://%s (%d shards, capacity %d)",
 		ln.Addr(), srv.Registry().Shards(), srv.Registry().Capacity())
+	if o != nil {
+		log.Printf("predserverd: observability on http://%s{%s,%s,%s}",
+			ln.Addr(), obs.PathMetrics, obs.PathPprof, obs.PathTrace)
+	}
 
 	snapDone := make(chan error, 1)
 	if *snapshotPath != "" {

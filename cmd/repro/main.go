@@ -6,10 +6,16 @@
 //
 //	repro [-d1 data/d1-seed1.json.gz] [-d2 data/d2-seed1.json.gz]
 //	      [-seed 1] [-only fig2,fig19] [-full] [-progress bar|jsonl|off]
+//	      [-obs-addr :6060] [-obs-dump dir]
 //
 // On-the-fly collection runs on the campaign runner with live progress on
 // stderr (-progress=jsonl for machine-readable JSON lines); Ctrl-C aborts
 // collection cleanly without writing a partial dataset file.
+//
+// -obs-addr serves the observability endpoints (/metrics, /debug/pprof/,
+// /debug/trace) while collections run; -obs-dump writes the telemetry to
+// files on a clean exit. Both collections share one registry, so the
+// campaign counters accumulate across d1 and d2.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/testbed"
 	"repro/internal/traceio"
 )
@@ -40,21 +47,46 @@ func main() {
 	full := flag.Bool("full", false, "collect at the paper's full scale when datasets are absent")
 	csvDir := flag.String("csv", "", "also export each experiment's tables/series as CSV into this directory")
 	progress := flag.String("progress", "bar", "collection progress: bar | jsonl | off")
+	obsAddr := flag.String("obs-addr", "", "serve live /metrics + /debug/pprof/ + /debug/trace on this address while collecting")
+	obsDump := flag.String("obs-dump", "", "write trace.json/trace.txt/metrics.prom artifacts to this directory at exit")
 	flag.Parse()
 
-	var obs campaign.Observer
+	var prog campaign.Observer
 	switch *progress {
 	case "bar":
-		obs = campaign.NewProgress(os.Stderr)
+		prog = campaign.NewProgress(os.Stderr)
 	case "jsonl":
-		obs = campaign.NewJSONL(os.Stderr)
+		prog = campaign.NewJSONL(os.Stderr)
 	case "off", "none", "":
 	default:
 		log.Fatalf("unknown -progress mode %q (want bar, jsonl or off)", *progress)
 	}
 
+	// One Obs covers both collections: the campaign metric families are
+	// registered idempotently, so d1's and d2's counters accumulate into
+	// the same series.
+	var telemetry *obs.Obs
+	if *obsAddr != "" || *obsDump != "" {
+		telemetry = obs.New(obs.DefaultSpanCapacity)
+	}
+
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
+	if *obsAddr != "" {
+		go func() {
+			if err := telemetry.Serve(ctx, *obsAddr); err != nil {
+				log.Printf("obs endpoint: %v", err)
+			}
+		}()
+	}
+	if *obsDump != "" {
+		defer func() {
+			if err := telemetry.WriteFiles(*obsDump); err != nil {
+				log.Printf("obs dump: %v", err)
+			}
+		}()
+	}
 
 	if *d1Path == "" {
 		*d1Path = fmt.Sprintf("data/d1-seed%d.json.gz", *seed)
@@ -69,8 +101,10 @@ func main() {
 		cfg1 = testbed.PaperScale(*seed)
 		cfg2 = testbed.SecondSet(*seed, false)
 	}
-	cfg1.Observer = obs
-	cfg2.Observer = obs
+	cfg1.Observer = prog
+	cfg2.Observer = prog
+	cfg1.Obs = telemetry
+	cfg2.Obs = telemetry
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {

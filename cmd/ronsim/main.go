@@ -5,10 +5,20 @@
 //
 //	ronsim [-out data/d1.json.gz] [-seed 1] [-full] [-second]
 //	       [-workers N] [-progress bar|jsonl|off] [-retries N]
+//	       [-paths N] [-traces N] [-epochs N]
+//	       [-obs-addr :6060] [-obs-dump dir]
 //
 // By default a scaled-down campaign runs (12 paths × 2 traces × 40 epochs);
 // -full restores the paper's 35 × 7 × 150 scale (slow). -second collects
 // the Mar-2006-style second dataset with 120 s checkpointed transfers.
+// -paths/-traces/-epochs shrink (or grow) any scale — CI uses them to make
+// a seconds-long run that still exercises the whole pipeline.
+//
+// -obs-addr serves live observability endpoints (/metrics Prometheus
+// exposition, /debug/pprof/ profiles, /debug/trace span timeline) while
+// the campaign runs; -obs-dump writes the same telemetry to files
+// (trace.json, trace.txt, metrics.prom) when it finishes. Either flag
+// enables instrumentation; with neither, the campaign runs untraced.
 //
 // Collection runs on the campaign runner: live progress (trace counts,
 // epoch rate, ETA) goes to stderr, -progress=jsonl emits machine-readable
@@ -30,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/testbed"
 	"repro/internal/traceio"
 )
@@ -45,6 +56,11 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel trace workers (0 = GOMAXPROCS)")
 	progress := flag.String("progress", "bar", "progress reporting: bar | jsonl | off")
 	retries := flag.Int("retries", 1, "retries per faulted trace (same seed); negative disables")
+	paths := flag.Int("paths", 0, "override the catalog's path count (0 = per-scale default)")
+	traces := flag.Int("traces", 0, "override traces per path (0 = per-scale default)")
+	epochs := flag.Int("epochs", 0, "override epochs per trace (0 = per-scale default)")
+	obsAddr := flag.String("obs-addr", "", "serve live /metrics + /debug/pprof/ + /debug/trace on this address during the run")
+	obsDump := flag.String("obs-dump", "", "write trace.json/trace.txt/metrics.prom artifacts to this directory after the run")
 	flag.Parse()
 
 	var cfg testbed.RunConfig
@@ -60,20 +76,48 @@ func main() {
 	}
 	cfg.Parallelism = *workers
 	cfg.Retries = *retries
+	if *paths > 0 {
+		cfg.Catalog.NumPaths = *paths
+		// Keep the special-class counts inside the shrunken catalog.
+		cfg.Catalog.NumDSL = min(cfg.Catalog.NumDSL, *paths/3)
+		cfg.Catalog.NumTrans = min(cfg.Catalog.NumTrans, *paths/3)
+		cfg.Catalog.NumKorea = min(cfg.Catalog.NumKorea, *paths/3)
+	}
+	if *traces > 0 {
+		cfg.TracesPerPath = *traces
+	}
+	if *epochs > 0 {
+		cfg.EpochsPerTrace = *epochs
+	}
 	if *out == "" {
 		*out = fmt.Sprintf("data/%s-seed%d.json.gz", name, *seed)
 	}
 
-	obs, err := observerFor(*progress)
+	prog, err := observerFor(*progress)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg.Observer = obs
+	cfg.Observer = prog
+
+	var telemetry *obs.Obs
+	if *obsAddr != "" || *obsDump != "" {
+		telemetry = obs.New(obs.DefaultSpanCapacity)
+		cfg.Obs = telemetry
+	}
 
 	// Ctrl-C / SIGTERM cancels the campaign; traces abort at their next
 	// epoch boundary and whatever completed is still saved below.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *obsAddr != "" {
+		go func() {
+			if err := telemetry.Serve(ctx, *obsAddr); err != nil {
+				log.Printf("obs endpoint: %v", err)
+			}
+		}()
+		log.Printf("observability on http://%s%s", *obsAddr, obs.PathMetrics)
+	}
 
 	start := time.Now()
 	ds, err := testbed.CollectContext(ctx, cfg)
@@ -88,6 +132,14 @@ func main() {
 		}
 	}
 	log.Printf("collected %d traces / %d epochs in %v", len(ds.Traces), ds.Epochs(), time.Since(start).Round(time.Second))
+
+	if *obsDump != "" {
+		if err := telemetry.WriteFiles(*obsDump); err != nil {
+			log.Printf("obs dump: %v", err)
+		} else {
+			log.Printf("wrote observability artifacts to %s/", *obsDump)
+		}
+	}
 
 	if len(ds.Traces) == 0 {
 		log.Print("nothing to save")

@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that data is a well-formed Prometheus text
+// exposition (format 0.0.4): every line is a HELP/TYPE comment or a
+// sample; metric and label names use the legal character set; sample
+// values parse as floats; a family's TYPE is declared at most once and
+// before its samples; histogram families expose _bucket/_sum/_count with
+// non-decreasing cumulative buckets ending in le="+Inf".
+//
+// It exists for the end-to-end tests — a scrape that Prometheus itself
+// would reject should fail CI, not a production deployment.
+func ValidateExposition(data []byte) error {
+	types := map[string]string{} // family → declared type
+	sampled := map[string]bool{} // family → samples seen
+	lastBucket := map[string]struct {
+		cum uint64
+		le  float64
+		inf bool
+	}{}
+	seen := map[string]bool{} // exact series (name+labels) already emitted
+
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		series := name + labels
+		if seen[series] {
+			return fmt.Errorf("line %d: duplicate series %q", lineNo, series)
+		}
+		seen[series] = true
+
+		fam := histogramFamily(name, types)
+		sampled[fam] = true
+
+		if strings.HasSuffix(name, "_bucket") && types[fam] == "histogram" {
+			le, ok := labelValue(labels, "le")
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket %q without le label", lineNo, series)
+			}
+			cum := uint64(value)
+			st := lastBucket[fam+labelsWithout(labels, "le")]
+			if st.inf {
+				return fmt.Errorf("line %d: bucket after le=\"+Inf\" in %q", lineNo, fam)
+			}
+			var bound float64
+			if le == "+Inf" {
+				st.inf = true
+			} else {
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le value %q", lineNo, le)
+				}
+				if st.cum > 0 || st.le != 0 {
+					if bound <= st.le {
+						return fmt.Errorf("line %d: non-ascending le in %q (%v after %v)", lineNo, fam, bound, st.le)
+					}
+				}
+			}
+			if cum < st.cum {
+				return fmt.Errorf("line %d: non-cumulative bucket counts in %q (%d after %d)", lineNo, fam, cum, st.cum)
+			}
+			st.cum, st.le = cum, bound
+			lastBucket[fam+labelsWithout(labels, "le")] = st
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, st := range lastBucket {
+		if !st.inf {
+			return fmt.Errorf("histogram series %q has no le=\"+Inf\" bucket", key)
+		}
+	}
+	return nil
+}
+
+// histogramFamily strips the _bucket/_sum/_count suffix when the base
+// name was declared as a histogram, so suffixed samples attach to their
+// family's TYPE.
+func histogramFamily(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample splits `name{labels} value [timestamp]`, validating each
+// part. labels is returned with its braces ("" when absent).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels = rest[i : j+1]
+		if err := validateLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+		rest = strings.TrimPrefix(rest[j+1:], " ")
+	} else {
+		fs := strings.SplitN(rest, " ", 2)
+		if len(fs) != 2 {
+			return "", "", 0, fmt.Errorf("sample without value: %q", line)
+		}
+		name, rest = fs[0], fs[1]
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("want value [timestamp], got %q", rest)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", "", 0, err
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// validateLabels checks a `{k="v",...}` block.
+func validateLabels(block string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return nil
+	}
+	for len(inner) > 0 {
+		eq := strings.IndexByte(inner, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", block)
+		}
+		if !validLabelName(inner[:eq]) {
+			return fmt.Errorf("invalid label name %q", inner[:eq])
+		}
+		rest := inner[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", block)
+		}
+		// Scan the quoted value honoring \" escapes.
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated label value in %q", block)
+		}
+		inner = rest[i+1:]
+		inner = strings.TrimPrefix(inner, ",")
+	}
+	return nil
+}
+
+// labelValue extracts one label's (unescaped) value from a `{...}` block.
+func labelValue(block, key string) (string, bool) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	for _, kv := range splitLabels(inner) {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			continue
+		}
+		if kv[:eq] == key {
+			return strings.Trim(kv[eq+1:], `"`), true
+		}
+	}
+	return "", false
+}
+
+// labelsWithout returns the label block with one key removed — used to
+// group a histogram's buckets across their le values.
+func labelsWithout(block, key string) string {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	var keep []string
+	for _, kv := range splitLabels(inner) {
+		if eq := strings.IndexByte(kv, '='); eq >= 0 && kv[:eq] == key {
+			continue
+		}
+		keep = append(keep, kv)
+	}
+	if len(keep) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(keep, ",") + "}"
+}
+
+// splitLabels splits `k="v",k2="v2"` on commas outside quotes.
+func splitLabels(inner string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, inner[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(inner) {
+		out = append(out, inner[start:])
+	}
+	return out
+}

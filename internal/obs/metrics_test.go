@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestMetricsAllocFree is the acceptance gate for the record paths: a
+// counter add, a gauge set/add and a histogram observe must not allocate,
+// so telemetry compiled into the PR-4 hot paths cannot reintroduce the
+// allocations those paths were stripped of.
+func TestMetricsAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_depth", "depth")
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.001, 0.01, 0.1, 1})
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Gauge.Set", func() { g.Set(42.5) }},
+		{"Gauge.Add", func() { g.Add(-1.5) }},
+		{"Histogram.Observe", func() { h.Observe(0.0042) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func TestDetachedMetricsOnNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	c.Add(7)
+	if c.Value() != 7 {
+		t.Errorf("detached counter = %d, want 7", c.Value())
+	}
+	g := r.Gauge("x", "")
+	g.Set(1.5)
+	g.Add(1)
+	if g.Value() != 2.5 {
+		t.Errorf("detached gauge = %v, want 2.5", g.Value())
+	}
+	h := r.Histogram("x_seconds", "", []float64{1})
+	h.Observe(0.5)
+	if h.Count() != 1 {
+		t.Errorf("detached histogram count = %d, want 1", h.Count())
+	}
+	r.GaugeFunc("y", "", func() float64 { return 0 })
+	r.CounterFunc("y_total", "", func() uint64 { return 0 })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q, err %v", buf.String(), err)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`req_total{endpoint="observe"}`, "requests served").Add(10)
+	r.Counter(`req_total{endpoint="predict"}`, "requests served").Add(4)
+	r.Gauge("paths", "registered paths").Set(3)
+	r.GaugeFunc("uptime_seconds", "uptime", func() float64 { return 12.25 })
+	h := r.Histogram(`lat_seconds{endpoint="observe"}`, "latency", []float64{0.001, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.HistogramFunc("ext_seconds", "bridged", func() HistogramState {
+		return HistogramState{UpperBounds: []float64{1, 2}, Counts: []uint64{1, 2, 3}, Sum: 10}
+	})
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP req_total requests served\n",
+		"# TYPE req_total counter\n",
+		`req_total{endpoint="observe"} 10` + "\n",
+		`req_total{endpoint="predict"} 4` + "\n",
+		"# TYPE paths gauge\n",
+		"paths 3\n",
+		"uptime_seconds 12.25\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{endpoint="observe",le="0.001"} 1` + "\n",
+		`lat_seconds_bucket{endpoint="observe",le="0.1"} 2` + "\n",
+		`lat_seconds_bucket{endpoint="observe",le="+Inf"} 3` + "\n",
+		`lat_seconds_count{endpoint="observe"} 3` + "\n",
+		`ext_seconds_bucket{le="+Inf"} 6` + "\n",
+		"ext_seconds_sum 10\n",
+		"ext_seconds_count 6\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE per family, even with two labelled children.
+	if n := strings.Count(out, "# TYPE req_total"); n != 1 {
+		t.Errorf("req_total TYPE emitted %d times, want 1", n)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Errorf("own exposition fails validation: %v\n---\n%s", err, out)
+	}
+}
+
+func TestExpositionSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("inf", "", func() float64 { return math.Inf(1) })
+	r.GaugeFunc("nan", "", func() float64 { return math.NaN() })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "inf +Inf\n") || !strings.Contains(buf.String(), "nan NaN\n") {
+		t.Errorf("special values rendered wrong:\n%s", buf.String())
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Errorf("special values rejected: %v", err)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("a_total", "")
+	mustPanic("type clash", func() { r.Gauge("a_total", "") })
+	r.GaugeFunc("g", "", func() float64 { return 0 })
+	mustPanic("func/direct clash", func() { r.Gauge("g", "") })
+	mustPanic("empty buckets", func() { r.Histogram("h", "", nil) })
+	mustPanic("unsorted buckets", func() { r.Histogram("h2", "", []float64{2, 1}) })
+}
+
+// TestRegistrySharedOnReRegister pins the idempotent-wiring contract:
+// registering the same name and type twice yields one shared metric and
+// one exposition series.
+func TestRegistrySharedOnReRegister(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "")
+	b := r.Counter("shared_total", "")
+	if a != b {
+		t.Error("re-registered counter is a different instance")
+	}
+	a.Add(2)
+	b.Add(3)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "shared_total 5"); got != 1 {
+		t.Errorf("shared counter series:\n%s", buf.String())
+	}
+	h1 := r.Histogram("shared_seconds", "", []float64{1})
+	h2 := r.Histogram("shared_seconds", "", []float64{1})
+	if h1 != h2 {
+		t.Error("re-registered histogram is a different instance")
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	bad := []struct {
+		name, in string
+	}{
+		{"garbage line", "!!!\n"},
+		{"bad name", "9metric 1\n"},
+		{"bad value", "m xyz\n"},
+		{"bad label name", `m{9x="v"} 1` + "\n"},
+		{"unterminated labels", `m{x="v 1` + "\n"},
+		{"duplicate series", "m 1\nm 2\n"},
+		{"duplicate TYPE", "# TYPE m counter\n# TYPE m counter\nm 1\n"},
+		{"unknown TYPE", "# TYPE m zigzag\nm 1\n"},
+		{"type after samples", "m_total 1\n# TYPE m_total counter\n"},
+		{"non-cumulative buckets", "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\n"},
+		{"missing +Inf", "# TYPE h histogram\n" + `h_bucket{le="1"} 5` + "\n"},
+	}
+	for _, tc := range bad {
+		if err := ValidateExposition([]byte(tc.in)); err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.in)
+		}
+	}
+	if err := ValidateExposition([]byte("")); err != nil {
+		t.Errorf("empty exposition rejected: %v", err)
+	}
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanCapacity is the ring size NewTracer(0) uses.
+const DefaultSpanCapacity = 8192
+
+// Tracer records spans — named, parent-linked intervals of monotonic
+// time — into a fixed-capacity ring of completed spans. It answers
+// "where did this epoch's/request's time go" without unbounded memory:
+// when the ring wraps, the oldest spans fall off and Dropped counts them.
+//
+// Starting and ending spans is goroutine-safe (the ring append takes a
+// mutex); an individual *Span must stay on the goroutine that started
+// it, like a local variable. All methods accept nil receivers — a nil
+// *Tracer hands out nil *Spans whose methods are no-ops — so
+// instrumentation seams cost one branch when tracing is off.
+//
+// Timestamps come from time.Since on a fixed anchor, i.e. the runtime's
+// monotonic clock: spans order and measure correctly across wall-clock
+// steps (NTP, suspend).
+type Tracer struct {
+	anchor time.Time // monotonic origin; all span times are offsets from it
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []SpanRecord
+	next    int
+	wrapped bool
+	dropped uint64
+	active  int64 // started but not yet ended
+}
+
+// SpanRecord is one completed span as retained by the ring.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64 // 0 for root spans
+	Root   uint64 // ID of the span's root ancestor (its own ID for roots)
+	Name   string
+	Start  time.Duration // offset from the tracer anchor
+	End    time.Duration
+	Count  int64 // optional payload (events processed, bytes, ...)
+}
+
+// Span is a started, not-yet-ended span. The zero/nil Span is inert.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	root   uint64
+	name   string
+	start  time.Duration
+	count  int64
+}
+
+// NewTracer returns a tracer retaining up to capacity completed spans
+// (0 = DefaultSpanCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{anchor: time.Now(), ring: make([]SpanRecord, capacity)}
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.nextID.Add(1)
+	t.mu.Lock()
+	t.active++
+	t.mu.Unlock()
+	return &Span{tr: t, id: id, root: id, name: name, start: time.Since(t.anchor)}
+}
+
+// Child opens a span parented under s. Child of a nil span is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tr
+	id := t.nextID.Add(1)
+	t.mu.Lock()
+	t.active++
+	t.mu.Unlock()
+	return &Span{tr: t, id: id, parent: s.id, root: s.root, name: name, start: time.Since(t.anchor)}
+}
+
+// AddCount accumulates an auxiliary count on the span (simulation events
+// processed, requests served, ...), exported with the span record.
+func (s *Span) AddCount(delta int64) {
+	if s == nil {
+		return
+	}
+	s.count += delta
+}
+
+// End completes the span, committing it to the tracer's ring. Ending a
+// nil span is a no-op; ending twice commits two records (don't).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	rec := SpanRecord{
+		ID: s.id, Parent: s.parent, Root: s.root, Name: s.name,
+		Start: s.start, End: time.Since(t.anchor), Count: s.count,
+	}
+	t.mu.Lock()
+	if t.wrapped {
+		t.dropped++
+	}
+	t.ring[t.next] = rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.active--
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained spans oldest-first, plus how many older
+// spans the ring has dropped.
+func (t *Tracer) Snapshot() (spans []SpanRecord, dropped uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wrapped {
+		spans = append(spans, t.ring[t.next:]...)
+		spans = append(spans, t.ring[:t.next]...)
+	} else {
+		spans = append(spans, t.ring[:t.next]...)
+	}
+	return spans, t.dropped
+}
+
+// Active returns the number of started, not-yet-ended spans.
+func (t *Tracer) Active() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active
+}
+
+// WriteChromeTrace renders the retained spans as a Chrome trace_event
+// JSON array of complete ("ph":"X") events, loadable in chrome://tracing
+// or https://ui.perfetto.dev. Each root span and its descendants share a
+// tid, so concurrent traces (campaign workers, HTTP requests) land in
+// separate lanes.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans, _ := t.Snapshot()
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, sp := range spans {
+		sep := ","
+		if i == len(spans)-1 {
+			sep = ""
+		}
+		// Durations in microseconds, the trace_event unit.
+		_, err := fmt.Fprintf(w,
+			"  {\"name\":%s,\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"id\":%d,\"parent\":%d,\"count\":%d}}%s\n",
+			strconv.Quote(sp.Name), sp.Root,
+			float64(sp.Start)/1e3, float64(sp.End-sp.Start)/1e3,
+			sp.ID, sp.Parent, sp.Count, sep)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// WriteTree renders the retained spans as an indented plain-text tree,
+// one root per block, children ordered by start time. Spans whose parent
+// fell off the ring are promoted to roots.
+func (t *Tracer) WriteTree(w io.Writer) error {
+	spans, dropped := t.Snapshot()
+	byID := make(map[uint64]int, len(spans))
+	for i, sp := range spans {
+		byID[sp.ID] = i
+	}
+	children := make(map[uint64][]int)
+	var roots []int
+	for i, sp := range spans {
+		if _, ok := byID[sp.Parent]; sp.Parent != 0 && ok {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool { return spans[idx[a]].Start < spans[idx[b]].Start })
+	}
+	byStart(roots)
+	for _, idx := range children {
+		byStart(idx)
+	}
+	if dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(%d older spans dropped by the ring)\n", dropped); err != nil {
+			return err
+		}
+	}
+	var walk func(i, depth int) error
+	walk = func(i, depth int) error {
+		sp := spans[i]
+		line := fmt.Sprintf("%*s%s  %s", 2*depth, "", sp.Name, (sp.End - sp.Start).Round(time.Microsecond))
+		if sp.Count != 0 {
+			line += fmt.Sprintf("  [count %d]", sp.Count)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+		for _, c := range children[sp.ID] {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := walk(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

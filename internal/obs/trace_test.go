@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	sp.AddCount(3) // no-ops all the way down
+	child := sp.Child("y")
+	child.End()
+	sp.End()
+	if spans, dropped := tr.Snapshot(); spans != nil || dropped != 0 {
+		t.Errorf("nil tracer snapshot = %v, %d", spans, dropped)
+	}
+	if tr.Active() != 0 {
+		t.Error("nil tracer has active spans")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Errorf("nil WriteChromeTrace: %v", err)
+	}
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Errorf("nil WriteTree: %v", err)
+	}
+}
+
+func TestSpanParentLinks(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start("epoch")
+	ping := root.Child("ping")
+	ping.AddCount(60)
+	ping.End()
+	transfer := root.Child("transfer")
+	transfer.End()
+	root.End()
+
+	spans, dropped := tr.Snapshot()
+	if dropped != 0 || len(spans) != 3 {
+		t.Fatalf("got %d spans, %d dropped", len(spans), dropped)
+	}
+	// Children end before the root, so: ping, transfer, epoch.
+	if spans[0].Name != "ping" || spans[1].Name != "transfer" || spans[2].Name != "epoch" {
+		t.Fatalf("span order: %q %q %q", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	rootRec := spans[2]
+	for _, sp := range spans[:2] {
+		if sp.Parent != rootRec.ID || sp.Root != rootRec.ID {
+			t.Errorf("%s: parent %d root %d, want both %d", sp.Name, sp.Parent, sp.Root, rootRec.ID)
+		}
+		if sp.Start < rootRec.Start || sp.End > rootRec.End {
+			t.Errorf("%s: [%v,%v] outside root [%v,%v]", sp.Name, sp.Start, sp.End, rootRec.Start, rootRec.End)
+		}
+	}
+	if spans[0].Count != 60 {
+		t.Errorf("ping count = %d, want 60", spans[0].Count)
+	}
+	if tr.Active() != 0 {
+		t.Errorf("active = %d after all spans ended", tr.Active())
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Start("s").End()
+	}
+	spans, dropped := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Errorf("retained %d spans, want 4", len(spans))
+	}
+	if dropped != 6 {
+		t.Errorf("dropped = %d, want 6", dropped)
+	}
+	// Oldest-first: IDs strictly ascending.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].ID <= spans[i-1].ID {
+			t.Errorf("snapshot not oldest-first: %d after %d", spans[i].ID, spans[i-1].ID)
+		}
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := tr.Start("worker")
+				sp.Child("phase").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	spans, dropped := tr.Snapshot()
+	if len(spans) != 800 || dropped != 0 {
+		t.Errorf("got %d spans, %d dropped; want 800, 0", len(spans), dropped)
+	}
+	seen := make(map[uint64]bool)
+	for _, sp := range spans {
+		if seen[sp.ID] {
+			t.Fatalf("duplicate span ID %d", sp.ID)
+		}
+		seen[sp.ID] = true
+	}
+}
+
+func TestWriteChromeTraceIsJSON(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start(`epoch "quoted"`)
+	root.Child("ping").End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Errorf("event phase %v, want X", ev["ph"])
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Errorf("event ts missing: %v", ev)
+		}
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start("trace path#0")
+	ep := root.Child("epoch")
+	ping := ep.Child("ping")
+	ping.AddCount(42)
+	ping.End()
+	ep.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("tree:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "trace path#0") {
+		t.Errorf("root line: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  epoch") {
+		t.Errorf("child not indented: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    ping") || !strings.Contains(lines[2], "[count 42]") {
+		t.Errorf("grandchild line: %q", lines[2])
+	}
+}

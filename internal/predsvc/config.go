@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/predict"
 )
 
@@ -106,6 +107,14 @@ type Config struct {
 	// Faults is an optional deterministic fault injector; sites are the
 	// Site* constants in this package. Nil injects nothing.
 	Faults *faultinject.Injector
+
+	// Obs, when non-nil, plugs the server into the observability layer:
+	// the service counters are re-exported through /metrics (see
+	// RegisterObsMetrics for the catalogue), each request records a span,
+	// and the obs endpoints (/metrics, /debug/pprof/, /debug/trace) are
+	// served from the same listener — routed around the hardening
+	// middleware so load shedding can never shed a scrape.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,165 @@
+package predsvc
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/predict"
+)
+
+// RegisterObsMetrics re-exports the server's counters through an obs
+// registry in Prometheus form. Everything is bridged with scrape-time
+// callbacks over the existing atomic Metrics struct — the request path
+// keeps its single accounting site and nothing is double-counted.
+//
+// The catalogue:
+//
+//	predsvc_requests_total{endpoint=E}            requests served, per endpoint
+//	predsvc_errors_total{endpoint=E}              4xx/5xx responses, per endpoint
+//	predsvc_request_duration_seconds{endpoint=E}  latency histogram (2^i µs buckets)
+//	predsvc_observations_total …                  the business + resilience counters
+//	predsvc_paths, predsvc_path_capacity          registry occupancy
+//	predsvc_evictions_total                       LRU evictions
+//	predsvc_uptime_seconds                        since NewServer
+//	predsvc_rmsre{predictor=P}                    mean rolling RMSRE (Eq. 5) across paths
+//	predsvc_lso_shifts, predsvc_lso_outliers      LSO detections summed over live sessions
+//
+// NewServer calls this automatically when Config.Obs is set; it is
+// exported for callers that mount a server behind their own Obs.
+func (r *Server) RegisterObsMetrics(m *obs.Registry) {
+	for ep := endpoint(0); ep < epCount; ep++ {
+		ep := ep
+		label := fmt.Sprintf("{endpoint=%q}", endpointNames[ep])
+		m.CounterFunc("predsvc_requests_total"+label, "requests served",
+			func() uint64 { return r.metrics.requests[ep].Load() })
+		m.CounterFunc("predsvc_errors_total"+label, "requests answered with a 4xx/5xx status",
+			func() uint64 { return r.metrics.errors[ep].Load() })
+		m.HistogramFunc("predsvc_request_duration_seconds"+label, "request latency",
+			func() obs.HistogramState { return latencyState(&r.metrics.latency[ep]) })
+	}
+
+	counters := []struct {
+		name, help string
+		v          interface{ Load() uint64 }
+	}{
+		{"predsvc_observations_total", "throughput observations absorbed", &r.metrics.observations},
+		{"predsvc_predictions_total", "predict responses served", &r.metrics.predictions},
+		{"predsvc_snapshots_written_total", "registry snapshots persisted", &r.metrics.snapshotsWritten},
+		{"predsvc_panics_recovered_total", "handler panics converted to 500s", &r.metrics.panicsRecovered},
+		{"predsvc_requests_shed_total", "requests shed with 429 past the in-flight cap", &r.metrics.requestsShed},
+		{"predsvc_rejected_inputs_total", "observations/measurements rejected as invalid", &r.metrics.rejectedInputs},
+		{"predsvc_snapshot_retries_total", "snapshot write backoff retries", &r.metrics.snapshotRetries},
+		{"predsvc_snapshot_failures_total", "failed snapshot write attempts", &r.metrics.snapshotFailures},
+		{"predsvc_stale_predictions_total", "predict responses whose FB forecast was stale", &r.metrics.stalePredictions},
+	}
+	for _, c := range counters {
+		m.CounterFunc(c.name, c.help, c.v.Load)
+	}
+
+	m.GaugeFunc("predsvc_paths", "paths currently registered",
+		func() float64 { return float64(r.reg.Len()) })
+	m.GaugeFunc("predsvc_path_capacity", "registry path capacity",
+		func() float64 { return float64(r.reg.Capacity()) })
+	m.CounterFunc("predsvc_evictions_total", "LRU path evictions",
+		r.reg.Evictions)
+	m.GaugeFunc("predsvc_uptime_seconds", "seconds since the server was built",
+		func() float64 { return time.Since(r.start).Seconds() })
+	m.GaugeFunc("predsvc_goroutines", "goroutines in the process",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+
+	// Per-predictor accuracy. The ensemble is identical on every path, so
+	// a probe session supplies the predictor names; the gauges average
+	// each predictor's rolling RMSRE (paper Eq. 5) over the paths where
+	// its error window has content.
+	probe := newSession("", r.cfg)
+	for i, hb := range probe.hbs {
+		i, name := i, hb.Name()
+		m.GaugeFunc(fmt.Sprintf("predsvc_rmsre{predictor=%q}", name),
+			"mean rolling RMSRE (Eq. 5) across paths",
+			func() float64 { return r.meanRMSRE(i) })
+	}
+	fbIdx := len(probe.hbs)
+	m.GaugeFunc(`predsvc_rmsre{predictor="FB"}`, "mean rolling RMSRE (Eq. 5) across paths",
+		func() float64 { return r.meanRMSRE(fbIdx) })
+
+	m.GaugeFunc("predsvc_lso_shifts", "level shifts detected, summed over live sessions",
+		func() float64 { s, _ := r.lsoTotals(); return float64(s) })
+	m.GaugeFunc("predsvc_lso_outliers", "samples currently labelled outliers, summed over live sessions",
+		func() float64 { _, o := r.lsoTotals(); return float64(o) })
+}
+
+// latencyState converts one endpoint's exponential latency histogram
+// (bucket i = latency < 2^i µs) into Prometheus histogram state. The sum
+// is estimated from bucket midpoints, exactly like HistogramSnapshot's
+// mean.
+func latencyState(h *histogram) obs.HistogramState {
+	snap := h.snapshot()
+	bounds := make([]float64, histBuckets-1)
+	for i := range bounds {
+		bounds[i] = float64(uint64(1)<<uint(i)) * 1e-6
+	}
+	return obs.HistogramState{
+		UpperBounds: bounds,
+		Counts:      snap.Counts,
+		Sum:         snap.MeanUsec() * float64(snap.Total) * 1e-6,
+	}
+}
+
+// meanRMSRE averages predictor i's rolling RMSRE over every live session
+// that has scored at least one forecast for it. Sessions self-lock; the
+// scrape never blocks the registry shards on predictor state.
+func (r *Server) meanRMSRE(i int) float64 {
+	var sum float64
+	var n int
+	r.reg.forEachLRU(func(s *Session) {
+		if v, ok := s.predictorRMSRE(i); ok {
+			sum += v
+			n++
+		}
+	})
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// lsoTotals sums LSO detections over every live session.
+func (r *Server) lsoTotals() (shifts, outliers int) {
+	r.reg.forEachLRU(func(s *Session) {
+		sh, out := s.lsoStats()
+		shifts += sh
+		outliers += out
+	})
+	return
+}
+
+// predictorRMSRE returns ensemble member i's rolling RMSRE (i equal to
+// len(hbs) selects FB) and whether its window has scored anything.
+func (s *Session) predictorRMSRE(i int) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.fbErr
+	if i < len(s.hbErr) {
+		w = s.hbErr[i]
+	}
+	if w.count() == 0 {
+		return 0, false
+	}
+	return w.rmsre(s.cfg.ErrClamp)
+}
+
+// lsoStats sums level-shift and outlier detections over the session's
+// LSO-wrapped ensemble members (zero when LSO is disabled).
+func (s *Session) lsoStats() (shifts, outliers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, hb := range s.hbs {
+		if l, ok := hb.(*predict.LSO); ok {
+			shifts += l.Shifts
+			outliers += l.Outliers
+		}
+	}
+	return
+}

@@ -1,0 +1,203 @@
+package predsvc
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// scrape fetches url and returns the body.
+func scrape(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// sampleValue extracts the value of an exposition line whose name (with
+// labels) equals name exactly.
+func sampleValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("unparseable sample %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("exposition has no sample %q\n---\n%s", name, exposition)
+	return 0
+}
+
+// TestMetricsEndpointE2E is the observability acceptance test: a real
+// daemon (own TCP listener) under the predload generator, with chaos
+// faults ticking the resilience counters, must serve a /metrics
+// exposition that (a) is valid Prometheus text format, (b) agrees with
+// /debug/vars on every bridged counter, and (c) keeps being served while
+// the API itself is shedding load.
+func TestMetricsEndpointE2E(t *testing.T) {
+	o := obs.New(1024)
+	inj := faultinject.New(3, faultinject.Rule{Site: SiteHandlerPanic, Every: 1})
+	srv := NewServer(Config{
+		Shards: 4, Capacity: 64,
+		MaxInFlight: 64,
+		Faults:      inj,
+		Obs:         o,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon shutdown: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("daemon did not shut down within 10s")
+		}
+	}()
+
+	// Drive real load, then tick the resilience counters: one chaos
+	// probe panics inside the handler chain, and one request is shed
+	// while the in-flight semaphore is saturated by hand.
+	series := SyntheticSeries(4, 20, 5)
+	if _, err := Replay(context.Background(), LoadConfig{BaseURL: base, Workers: 4}, series); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodGet, base+"/v1/stats", nil)
+	req.Header.Set(ChaosPanicHeader, "1")
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("chaos probe status = %d, want 500", resp.StatusCode)
+		}
+	}
+	for i := 0; i < cap(srv.sem); i++ {
+		srv.sem <- struct{}{}
+	}
+	if code, _ := scrape(t, base+"/v1/stats"); code != http.StatusTooManyRequests {
+		t.Fatalf("saturated API status = %d, want 429", code)
+	}
+	// The obs endpoints bypass the shedding middleware: the scrape must
+	// succeed while the API proper is refusing traffic.
+	code, exposition := scrape(t, base+obs.PathMetrics)
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status under load shedding = %d, want 200", code)
+	}
+	for i := 0; i < cap(srv.sem); i++ {
+		<-srv.sem
+	}
+
+	if err := obs.ValidateExposition([]byte(exposition)); err != nil {
+		t.Fatalf("/metrics exposition invalid: %v\n---\n%s", err, exposition)
+	}
+
+	// Every bridged counter agrees with /debug/vars.
+	codeVars, varsBody := scrape(t, base+"/debug/vars")
+	if codeVars != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", codeVars)
+	}
+	var vars struct {
+		Predsvc struct {
+			Paths     int             `json:"paths"`
+			Evictions uint64          `json:"evictions"`
+			Metrics   MetricsSnapshot `json:"metrics"`
+		} `json:"predsvc"`
+	}
+	if err := json.Unmarshal([]byte(varsBody), &vars); err != nil {
+		t.Fatal(err)
+	}
+	ms := vars.Predsvc.Metrics
+	for _, tc := range []struct {
+		sample string
+		want   float64
+	}{
+		{"predsvc_requests_shed_total", float64(ms.RequestsShed)},
+		{"predsvc_panics_recovered_total", float64(ms.PanicsRecovered)},
+		{"predsvc_observations_total", float64(ms.Observations)},
+		{"predsvc_predictions_total", float64(ms.Predictions)},
+		{"predsvc_paths", float64(vars.Predsvc.Paths)},
+	} {
+		if got := sampleValue(t, exposition, tc.sample); got != tc.want {
+			t.Errorf("%s = %v, /debug/vars says %v", tc.sample, got, tc.want)
+		}
+	}
+	if shed := sampleValue(t, exposition, "predsvc_requests_shed_total"); shed < 1 {
+		t.Errorf("requests_shed_total = %v, want ≥ 1 (one request was shed)", shed)
+	}
+	if panics := sampleValue(t, exposition, "predsvc_panics_recovered_total"); panics != 1 {
+		t.Errorf("panics_recovered_total = %v, want 1", panics)
+	}
+
+	// Per-endpoint families, the accuracy gauges and the latency
+	// histograms made it out too.
+	for _, want := range []string{
+		`predsvc_requests_total{endpoint="observe"}`,
+		`predsvc_request_duration_seconds_bucket{endpoint="predict",le="+Inf"}`,
+		`predsvc_rmsre{predictor="FB"}`,
+		"predsvc_lso_shifts",
+		"predsvc_uptime_seconds",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The handlers recorded spans, and the trace endpoints serve them.
+	spans, _ := o.T().Snapshot()
+	var observeSpans int
+	for _, sp := range spans {
+		if sp.Name == "predsvc.observe" {
+			observeSpans++
+		}
+	}
+	if observeSpans == 0 {
+		t.Error("no predsvc.observe spans recorded under load")
+	}
+	if code, body := scrape(t, base+obs.PathTrace); code != http.StatusOK || !strings.Contains(body, "predsvc.predict") {
+		t.Errorf("/debug/trace: status %d, predsvc.predict present: %v", code, strings.Contains(body, "predsvc.predict"))
+	}
+	if code, body := scrape(t, base+obs.PathPprof); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: status %d", code)
+	}
+}
+
+// TestServerWithoutObs pins the off state: no Config.Obs, no /metrics —
+// the daemon's HTTP surface is unchanged.
+func TestServerWithoutObs(t *testing.T) {
+	srv := NewServer(Config{})
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("/metrics without obs = %d, want 404", rec.Code)
+	}
+}

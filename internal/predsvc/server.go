@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/predict"
 )
 
@@ -51,6 +52,7 @@ type Server struct {
 	mux     *http.ServeMux
 	root    http.Handler
 	sem     chan struct{} // in-flight request semaphore; nil = no shedding
+	tracer  *obs.Tracer   // nil unless Config.Obs is set
 	start   time.Time
 }
 
@@ -63,6 +65,7 @@ func NewServer(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 	}
+	s.tracer = s.cfg.Obs.T()
 	s.mux.Handle("POST /v1/observe", s.instrument(epObserve, s.handleObserve))
 	s.mux.Handle("POST /v1/measure", s.instrument(epMeasure, s.handleMeasure))
 	s.mux.Handle("GET /v1/predict", s.instrument(epPredict, s.handlePredict))
@@ -72,6 +75,20 @@ func NewServer(cfg Config) *Server {
 		s.sem = make(chan struct{}, s.cfg.MaxInFlight)
 	}
 	s.root = s.harden(s.mux)
+	if s.cfg.Obs != nil {
+		s.RegisterObsMetrics(s.cfg.Obs.M())
+		// The obs endpoints bypass the hardening middleware on purpose:
+		// a scrape or a pprof grab must succeed precisely when the
+		// service is overloaded enough to shed its own API traffic.
+		api, obsHandler := s.root, s.cfg.Obs.Handler()
+		s.root = http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			if obs.IsObsPath(req.URL.Path) {
+				obsHandler.ServeHTTP(w, req)
+				return
+			}
+			api.ServeHTTP(w, req)
+		})
+	}
 	return s
 }
 
@@ -291,12 +308,29 @@ type apiError struct {
 // handlerFunc processes one request and returns the HTTP status written.
 type handlerFunc func(w http.ResponseWriter, req *http.Request) int
 
-// instrument wraps a handler with request/error/latency accounting.
+// spanNames precomputes the per-endpoint span names so the request path
+// never concatenates strings for tracing.
+var spanNames = func() (n [epCount]string) {
+	for ep, name := range endpointNames {
+		n[ep] = "predsvc." + name
+	}
+	return
+}()
+
+// instrument wraps a handler with request/error/latency accounting and,
+// when an observability layer is attached, a per-request span whose
+// count carries the HTTP status.
 func (r *Server) instrument(ep endpoint, h handlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var sp *obs.Span
+		if r.tracer != nil {
+			sp = r.tracer.Start(spanNames[ep])
+		}
 		start := time.Now()
 		status := h(w, req)
 		r.metrics.record(ep, status, time.Since(start))
+		sp.AddCount(int64(status))
+		sp.End()
 	})
 }
 

@@ -16,6 +16,8 @@ package sim
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Timer is a handle to a scheduled event, returned by value: it is three
@@ -113,6 +115,7 @@ type Engine struct {
 	processed uint64
 	canceled  int // cancelled timers still sitting in the heap
 	stopped   bool
+	span      *obs.Span
 }
 
 // NewEngine returns an engine with the clock at time zero.
@@ -204,18 +207,47 @@ func (e *Engine) Step() bool {
 	return false
 }
 
+// SetSpan attaches a parent observability span to the engine: every
+// Run/RunUntil segment records a "sim.run" child span carrying the
+// number of events it processed, so a trace shows where a campaign's
+// virtual time was spent. Callers move the parent as they enter new
+// phases (warmup, pathload, transfer …) and detach with SetSpan(nil).
+// A nil span (the default) reduces the instrumentation to one
+// predictable branch per run call — never per event — which is why it
+// can stay compiled into the hot loop without moving the benchmarks.
+func (e *Engine) SetSpan(parent *obs.Span) { e.span = parent }
+
+// runSpan opens the per-segment span when a parent is attached.
+func (e *Engine) runSpan() (*obs.Span, uint64) {
+	if e.span == nil {
+		return nil, 0
+	}
+	return e.span.Child("sim.run"), e.processed
+}
+
+func (e *Engine) endRunSpan(sp *obs.Span, mark uint64) {
+	if sp == nil {
+		return
+	}
+	sp.AddCount(int64(e.processed - mark))
+	sp.End()
+}
+
 // RunUntil executes events in order until the clock would pass t or no
 // events remain. After RunUntil the clock is exactly t if any event horizon
 // reached it, otherwise the time of the last executed event.
 func (e *Engine) RunUntil(t float64) {
+	sp, mark := e.runSpan()
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
 		next, ok := e.peek()
 		if !ok {
+			e.endRunSpan(sp, mark)
 			return
 		}
 		if next.at > t {
 			e.now = t
+			e.endRunSpan(sp, mark)
 			return
 		}
 		e.Step()
@@ -223,13 +255,16 @@ func (e *Engine) RunUntil(t float64) {
 	if e.now < t {
 		e.now = t
 	}
+	e.endRunSpan(sp, mark)
 }
 
 // Run executes all pending events until none remain or Stop is called.
 func (e *Engine) Run() {
+	sp, mark := e.runSpan()
 	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
+	e.endRunSpan(sp, mark)
 }
 
 // Stop halts Run/RunUntil after the current event completes.

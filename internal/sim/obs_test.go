@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEngineRunSpans checks the run-loop instrumentation: each
+// Run/RunUntil segment records one sim.run span, parented under the
+// attached phase span, whose count is the number of events that segment
+// processed; a detached engine stays span-free.
+func TestEngineRunSpans(t *testing.T) {
+	tr := obs.NewTracer(64)
+	phase := tr.Start("phase")
+	e := NewEngine()
+	e.SetSpan(phase)
+
+	fired := 0
+	for i := 0; i < 5; i++ {
+		e.Schedule(float64(i), func() { fired++ })
+	}
+	e.RunUntil(2.5) // fires events at 0, 1, 2
+	e.Run()         // fires the remaining 2
+	e.SetSpan(nil)
+	phase.End()
+
+	if fired != 5 {
+		t.Fatalf("fired %d events, want 5", fired)
+	}
+	spans, _ := tr.Snapshot()
+	var runs []obs.SpanRecord
+	var phaseID uint64
+	for _, sp := range spans {
+		switch sp.Name {
+		case "sim.run":
+			runs = append(runs, sp)
+		case "phase":
+			phaseID = sp.ID
+		}
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d sim.run spans, want 2 (one per run segment): %+v", len(runs), spans)
+	}
+	if runs[0].Count != 3 || runs[1].Count != 2 {
+		t.Errorf("segment counts = %d, %d; want 3, 2", runs[0].Count, runs[1].Count)
+	}
+	for _, sp := range runs {
+		if sp.Parent != phaseID {
+			t.Errorf("sim.run parented to %d, want phase %d", sp.Parent, phaseID)
+		}
+	}
+}
+
+// TestEngineNilSpan pins the off state: no parent span, no spans, and
+// the run loop behaves identically.
+func TestEngineNilSpan(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(1, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+}

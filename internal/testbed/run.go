@@ -10,6 +10,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/iperf"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
@@ -72,6 +73,15 @@ type RunConfig struct {
 	// execution instrumentation, not part of the campaign's identity:
 	// results are byte-identical whatever observer is attached.
 	Observer campaign.Observer
+
+	// Obs, when non-nil, receives spans and metrics from the campaign:
+	// a campaign.Telemetry observer is attached automatically, every
+	// trace job records an epoch/phase span tree (pathload, ping,
+	// transfer, small, gap — the Fig.-1 timeline), the engines' sim.run
+	// segments nest under those phases, and packet-pool recycling is
+	// exported as testbed_packets_* counters. Like Observer it never
+	// changes results.
+	Obs *obs.Obs
 }
 
 func (c RunConfig) defaults() RunConfig {
@@ -226,13 +236,14 @@ func CollectContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 		}
 	}
 
+	hooks := newObsHooks(cfg.Obs)
 	runner := &campaign.Runner[Trace]{
 		Parallelism: cfg.Parallelism,
 		Retries:     max(cfg.Retries, 0),
-		Observer:    cfg.Observer,
+		Observer:    hooks.observer(cfg.Observer),
 	}
 	results, ctxErr := runner.Run(ctx, jobs, func(ctx context.Context, job campaign.Job, rep *campaign.Reporter) (Trace, error) {
-		return runTrace(ctx, cfg, pcs[job.Index], job, rep)
+		return runTrace(ctx, cfg, pcs[job.Index], job, rep, hooks)
 	})
 
 	ds := &Dataset{Label: fmt.Sprintf("seed%d", cfg.Seed)}
@@ -251,11 +262,65 @@ func CollectContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	return ds, joinErrs(errs)
 }
 
+// obsHooks bundles the testbed's observability wiring: the campaign
+// telemetry observer (spans + campaign_* metrics) and the packet-pool
+// counters. A nil *obsHooks — the Obs-off state — is safe everywhere.
+type obsHooks struct {
+	tel    *campaign.Telemetry
+	pooled *obs.Counter // pool recycles (Puts) summed over traces
+	leaked *obs.Counter // packets drawn but never returned
+	allocs *obs.Counter // Gets that fell through to the allocator
+}
+
+func newObsHooks(o *obs.Obs) *obsHooks {
+	if o == nil {
+		return nil
+	}
+	m := o.M()
+	return &obsHooks{
+		tel:    campaign.NewTelemetry(o),
+		pooled: m.Counter("testbed_packets_pooled_total", "packets recycled through path pools"),
+		leaked: m.Counter("testbed_packets_leaked_total", "packets drawn from pools and never returned"),
+		allocs: m.Counter("testbed_packets_allocated_total", "pool misses that hit the allocator"),
+	}
+}
+
+// observer merges the user's observer with the telemetry one.
+func (h *obsHooks) observer(user campaign.Observer) campaign.Observer {
+	if h == nil {
+		return user
+	}
+	if user == nil {
+		return h.tel
+	}
+	return campaign.MultiObserver{user, h.tel}
+}
+
+// jobSpan returns the open campaign span for the job, or nil.
+func (h *obsHooks) jobSpan(index int) *obs.Span {
+	if h == nil {
+		return nil
+	}
+	return h.tel.JobSpan(index)
+}
+
+// tracePool folds one finished trace's pool counters into the metrics.
+func (h *obsHooks) tracePool(p *netem.PacketPool) {
+	if h == nil {
+		return
+	}
+	h.pooled.Add(uint64(p.Puts))
+	h.allocs.Add(uint64(p.News))
+	if outstanding := p.Gets - p.Puts; outstanding > 0 {
+		h.leaked.Add(uint64(outstanding))
+	}
+}
+
 // runTrace simulates one trace: builds a fresh engine, path and ambient
 // traffic, then executes EpochsPerTrace measurement epochs back-to-back.
 // ctx is checked at every epoch boundary, so cancellation aborts the
 // trace cleanly mid-run without corrupting other traces.
-func runTrace(ctx context.Context, cfg RunConfig, pc PathConfig, job campaign.Job, rep *campaign.Reporter) (Trace, error) {
+func runTrace(ctx context.Context, cfg RunConfig, pc PathConfig, job campaign.Job, rep *campaign.Reporter, hooks *obsHooks) (Trace, error) {
 	rng := sim.NewRNG(job.Seed)
 	eng := sim.NewEngine()
 	path := netem.NewPath(eng, rng.Fork(), pc.Spec)
@@ -264,8 +329,17 @@ func runTrace(ctx context.Context, cfg RunConfig, pc PathConfig, job campaign.Jo
 	probe.NewResponder(path.B, flowProbe)
 	prober := probe.NewProber(eng, path.A, flowProbe, cfg.Ping)
 
+	// The campaign span for this job (nil when telemetry is off) roots
+	// the trace's epoch/phase tree; the engine hangs its sim.run
+	// segments off whichever phase span is current.
+	jobSpan := hooks.jobSpan(job.Index)
+	defer eng.SetSpan(nil)
+
 	// Let ambient traffic reach steady state before measuring.
+	warm := jobSpan.Child("warmup")
+	eng.SetSpan(warm)
 	eng.RunUntil(eng.Now() + 5)
+	warm.End()
 	prober.Start()
 
 	tr := Trace{Path: pc.Name, Class: string(pc.Class), Index: job.Trace}
@@ -277,16 +351,21 @@ func runTrace(ctx context.Context, cfg RunConfig, pc PathConfig, job campaign.Jo
 			testHookPreEpoch(job, ep)
 		}
 		mark := eng.Processed()
-		rec := runEpoch(cfg, pc, eng, path, prober, env)
+		esp := jobSpan.Child("epoch")
+		rec := runEpoch(cfg, pc, eng, path, prober, env, esp)
 		rec.Path = pc.Name
 		rec.Class = string(pc.Class)
 		rec.Trace = job.Trace
 		rec.Epoch = ep
 		tr.Records = append(tr.Records, rec)
-		rep.Epoch(ep, eng.Now(), eng.ProcessedSince(mark))
+		events := eng.ProcessedSince(mark)
+		esp.AddCount(int64(events))
+		esp.End()
+		rep.Epoch(ep, eng.Now(), events)
 	}
 	prober.Stop()
 	env.stop()
+	hooks.tracePool(path.Pool)
 	return tr, nil
 }
 
@@ -374,18 +453,29 @@ func startAmbient(eng *sim.Engine, rng *sim.RNG, path *netem.Path, pc PathConfig
 	return env
 }
 
-// runEpoch executes one Fig.-1 epoch and returns its record.
-func runEpoch(cfg RunConfig, pc PathConfig, eng *sim.Engine, path *netem.Path, prober *probe.Prober, env *ambient) EpochRecord {
+// runEpoch executes one Fig.-1 epoch and returns its record. esp, when
+// non-nil, is the epoch's span; each measurement phase opens a child
+// under it and points the engine at it, so the exported trace shows the
+// epoch timeline exactly as Fig. 1 draws it.
+func runEpoch(cfg RunConfig, pc PathConfig, eng *sim.Engine, path *netem.Path, prober *probe.Prober, env *ambient, esp *obs.Span) EpochRecord {
+	phase := func(name string) *obs.Span {
+		sp := esp.Child(name)
+		eng.SetSpan(sp)
+		return sp
+	}
 	rec := EpochRecord{StartTime: eng.Now()}
 	bn := path.Bottleneck()
 
 	// Phase 1: pathload.
+	sp := phase("pathload")
 	est := availbw.NewEstimator(eng, path, flowChirp, cfg.Pathload)
 	abw := est.Estimate()
 	rec.AvailBw = abw.Estimate
+	sp.End()
 
 	// Phase 2: 60 s of ping → (T̂, p̂); also the ground-truth avail-bw
 	// window (bottleneck capacity minus non-probe arrivals).
+	sp = phase("ping")
 	prober.Window() // discard samples accumulated since the last epoch
 	statsBefore := bn.Stats()
 	tPingStart := eng.Now()
@@ -404,8 +494,10 @@ func runEpoch(cfg RunConfig, pc PathConfig, eng *sim.Engine, path *netem.Path, p
 		}
 		rec.AvailBwTrue = avail
 	}
+	sp.End()
 
 	// Phase 3: the target transfer, with probing continuing → (T̃, p̃).
+	sp = phase("transfer")
 	rep := iperf.Run(eng, path, flowTransfer, iperf.Config{
 		Duration:    cfg.TransferSec,
 		TCP:         tcpsim.Config{MaxWindowBytes: cfg.LargeWindowBytes, DelayedAck: true},
@@ -423,9 +515,11 @@ func runEpoch(cfg RunConfig, pc PathConfig, eng *sim.Engine, path *netem.Path, p
 	rec.LossEvents = rep.LossEvents
 	rec.SegmentsSent = rep.SegmentsSent
 	rec.Checkpoints = rep.Checkpoints
+	sp.End()
 
 	// Phase 4: the window-limited companion transfer.
 	if cfg.SmallWindowBytes > 0 {
+		sp = phase("small")
 		small := iperf.Run(eng, path, flowSmall, iperf.Config{
 			Duration: cfg.SmallTransferSec,
 			TCP:      tcpsim.Config{MaxWindowBytes: cfg.SmallWindowBytes, DelayedAck: true},
@@ -436,9 +530,12 @@ func runEpoch(cfg RunConfig, pc PathConfig, eng *sim.Engine, path *netem.Path, p
 		if rec.PreRTT > 0 {
 			rec.SmallWindowLimited = float64(cfg.SmallWindowBytes)*8/rec.PreRTT < rec.AvailBw
 		}
+		sp.End()
 	}
 
 	// Phase 5: idle gap to the next epoch.
+	sp = phase("gap")
 	eng.RunUntil(eng.Now() + cfg.EpochGap)
+	sp.End()
 	return rec
 }

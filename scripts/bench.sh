@@ -28,10 +28,23 @@ for arg in "$@"; do
     esac
 done
 
-# The latest committed BENCH_*.json is the comparison baseline.
+# The latest committed BENCH_*.json is the comparison baseline. Plain
+# glob + numeric max: no ls/sort pipeline, so a repo with zero baselines
+# (or a shell where the failed glob aborts under set -e) degrades to an
+# explicit warning below instead of a silent nonzero exit.
 latest=""
-for f in $(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); do
-    latest="$f"
+latest_n=-1
+for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    n=${f#BENCH_}
+    n=${n%.json}
+    case "$n" in
+    '' | *[!0-9]*) continue ;;
+    esac
+    if [ "$n" -gt "$latest_n" ]; then
+        latest_n=$n
+        latest=$f
+    fi
 done
 
 tmp=$(mktemp -d)
@@ -49,7 +62,8 @@ if [ "$short" = 1 ]; then
         go run ./cmd/benchjson compare -old "$latest" -new "$tmp/new.json" \
             -gate "$GATE" -max-regress "$MAX_REGRESS"
     else
-        echo "==> no committed BENCH_*.json baseline; skipping compare"
+        echo "WARNING: no committed BENCH_*.json baseline found; skipping the regression gate." >&2
+        echo "         Run 'scripts/bench.sh' on a healthy tree and commit the BENCH_<n>.json it writes." >&2
     fi
     echo "OK"
     exit 0

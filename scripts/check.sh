@@ -35,4 +35,20 @@ go test -race -short -run 'TestEndToEnd' -count=1 ./internal/predsvc
 echo "==> prediction-service chaos gate"
 go test -race -short -run 'TestEndToEndChaos|TestCorruptSnapshotQuarantine' -count=1 ./internal/predsvc
 
+# Coverage ratchet: the short suite's statement coverage may drift, but
+# never more than 2 points below the recorded baseline. When a PR raises
+# coverage meaningfully, raise COVER_BASELINE to match `go tool cover
+# -func` — the ratchet only ever moves up.
+COVER_BASELINE=78.1
+echo "==> coverage ratchet (baseline ${COVER_BASELINE}%, tolerance -2.0)"
+cover_tmp=$(mktemp)
+trap 'rm -f "$cover_tmp"' EXIT
+go test -short -coverprofile="$cover_tmp" ./... >/dev/null
+total=$(go tool cover -func="$cover_tmp" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
+echo "    total statement coverage: ${total}%"
+if ! awk -v t="$total" -v b="$COVER_BASELINE" 'BEGIN { exit !(t >= b - 2.0) }'; then
+    echo "FAIL: coverage ${total}% is more than 2 points below the ${COVER_BASELINE}% baseline" >&2
+    exit 1
+fi
+
 echo "OK"

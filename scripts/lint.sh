@@ -1,0 +1,36 @@
+#!/bin/sh
+# lint.sh — the static-analysis half of the CI lint job, runnable locally:
+# gofmt, go vet, and (when installed) staticcheck + govulncheck. The tools
+# are not vendored; CI installs them with `go install`, and locally the
+# script skips what's missing with a note rather than failing, so `make
+# lint` works on an offline checkout.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "==> staticcheck"
+    staticcheck ./...
+else
+    echo "==> staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "==> govulncheck"
+    govulncheck ./...
+else
+    echo "==> govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"
+fi
+
+echo "OK"

@@ -32,6 +32,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/iperf"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/predsvc"
 	"repro/internal/probe"
@@ -176,6 +177,18 @@ func NewProgressObserver(w io.Writer) Observer { return campaign.NewProgress(w) 
 // NewJSONLObserver returns an Observer that emits one JSON object per
 // campaign event to w, for machine consumption.
 func NewJSONLObserver(w io.Writer) Observer { return campaign.NewJSONL(w) }
+
+// Observability is the unified telemetry bundle (span tracer + Prometheus
+// metrics registry + HTTP endpoints). Assign one to RunConfig.Obs or
+// ServiceConfig.Obs to instrument a campaign or a prediction server; a
+// nil Observability is valid everywhere and turns instrumentation off.
+type Observability = obs.Obs
+
+// NewObservability returns a telemetry bundle retaining up to
+// spanCapacity completed spans (0 picks the default). Serve its Handler
+// (or call Serve) to expose /metrics, /debug/pprof/ and /debug/trace;
+// WriteFiles dumps the same telemetry as offline artifacts.
+func NewObservability(spanCapacity int) *Observability { return obs.New(spanCapacity) }
 
 // ServiceConfig tunes the online prediction service: registry sharding and
 // LRU capacity, the per-path HB ensemble, and the rolling accuracy
