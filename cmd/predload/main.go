@@ -27,6 +27,12 @@
 //	predload -dataset results/dataset.json -workers 32
 //	predload -testbed -seed 7     # simulate a small campaign, then replay it
 //	predload -chaos -chaos-seed 7 # fault-injected run; digest must still match
+//	predload -cluster 127.0.0.1:8355,127.0.0.1:8356 -batch
+//
+// With -cluster, each path's requests go to the node that owns it under
+// rendezvous hashing; per-path state lives on exactly one node, so the
+// digest matches a single-node run over the same series. -batch folds each
+// epoch's observations into one /v1/observe-batch request per node.
 package main
 
 import (
@@ -57,6 +63,9 @@ func main() {
 		dataset = flag.String("dataset", "", "replay a dataset JSON instead of synthetic series")
 		useTb   = flag.Bool("testbed", false, "simulate a small testbed campaign and replay it")
 
+		clusterList = flag.String("cluster", "", "comma-separated base URLs of a multi-node deployment; each path is routed to its rendezvous-hash owner (overrides -addr)")
+		batchMode   = flag.Bool("batch", false, "group each epoch's observations into /v1/observe-batch requests per node instead of one /v1/observe per path")
+
 		chaosMode = flag.Bool("chaos", false, "inject client-side faults (aborted predicts, slowloris probes, forced-panic probes); digest covers only the fault-free replay")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed for -chaos")
 
@@ -65,9 +74,17 @@ func main() {
 	flag.Parse()
 
 	// Accept the same bare host:port the daemon's -addr takes.
-	base := *addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	base := normalizeURL(*addr)
+
+	// -cluster routes per path across nodes; the reports afterwards are
+	// fetched from every node.
+	var nodes []string
+	if *clusterList != "" {
+		for _, n := range strings.Split(*clusterList, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				nodes = append(nodes, normalizeURL(n))
+			}
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -96,8 +113,13 @@ func main() {
 	}
 
 	lcfg := predsvc.LoadConfig{
-		BaseURL: base,
-		Workers: *workers,
+		BaseURL:      base,
+		Cluster:      nodes,
+		BatchObserve: *batchMode,
+		Workers:      *workers,
+	}
+	if len(nodes) > 0 {
+		log.Printf("predload: routing paths across %d nodes by rendezvous hash", len(nodes))
 	}
 	if *chaosMode {
 		lcfg.Chaos = &predsvc.ChaosConfig{Seed: *chaosSeed}
@@ -113,15 +135,29 @@ func main() {
 		log.Fatalf("predload: %v", err)
 	}
 	fmt.Println(rep)
-	if *chaosMode {
-		reportServerResilience(base)
+	targets := nodes
+	if len(targets) == 0 {
+		targets = []string{base}
 	}
-	if *bench {
-		reportServiceTimes(base)
+	for _, t := range targets {
+		if *chaosMode {
+			reportServerResilience(t)
+		}
+		if *bench {
+			reportServiceTimes(t)
+		}
 	}
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// normalizeURL accepts the same bare host:port the daemon's -addr takes.
+func normalizeURL(s string) string {
+	if !strings.Contains(s, "://") {
+		return "http://" + s
+	}
+	return s
 }
 
 // reportServiceTimes fetches /debug/vars and prints each busy endpoint's

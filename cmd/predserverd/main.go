@@ -1,7 +1,12 @@
 // Command predserverd is the online throughput-prediction daemon: it
 // serves the internal/predsvc HTTP JSON API (observe / measure / predict /
-// stats) over a sharded, LRU-bounded path registry, with graceful shutdown
-// on SIGINT/SIGTERM and optional periodic JSON snapshots of registry state.
+// stats, plus the observe-batch / predict-batch bulk endpoints) over a
+// sharded, LRU-bounded path registry, with graceful shutdown on
+// SIGINT/SIGTERM and optional periodic JSON snapshots of registry state.
+// With -spill-dir the registry becomes a two-tier store: sessions evicted
+// from the in-memory hot tier are serialized to an append-only checksummed
+// spill log and faulted back on access, so the daemon holds far more paths
+// than -capacity at a bounded resident set.
 //
 // The serving path is hardened for imperfect conditions: header/read/idle
 // timeouts guard against slow clients, handler panics are converted into
@@ -55,6 +60,7 @@ func main() {
 		noLSO        = flag.Bool("no-lso", false, "disable the level-shift/outlier wrapper")
 		snapshotPath = flag.String("snapshot", "", "snapshot file (restored at startup, written periodically and at shutdown)")
 		snapshotIvl  = flag.Duration("snapshot-interval", time.Minute, "interval between snapshots")
+		spillDir     = flag.String("spill-dir", "", "directory for the two-tier store's spill log; paths evicted from the hot tier spill to disk instead of being dropped")
 
 		staleAfter  = flag.Int("stale-after", 0, "observations since the last measurement before FB forecasts are flagged stale (0 = default 30, negative = never)")
 		maxInflight = flag.Int("max-inflight", 0, "concurrent-request cap before shedding with 429 (0 = default 1024, negative = unlimited)")
@@ -87,6 +93,7 @@ func main() {
 		MaxInFlight:       *maxInflight,
 		ReadHeaderTimeout: *readHdrTO,
 		RequestTimeout:    *requestTO,
+		SpillDir:          *spillDir,
 	}
 	if *chaosMode {
 		cfg.Faults = faultinject.New(*chaosSeed,
@@ -99,7 +106,13 @@ func main() {
 		)
 		log.Printf("predserverd: CHAOS MODE (seed %d): injecting snapshot write failures, handler panics and 5ms handler stalls", *chaosSeed)
 	}
-	srv := predsvc.NewServer(cfg)
+	srv, err := predsvc.Open(cfg)
+	if err != nil {
+		log.Fatalf("predserverd: open: %v", err)
+	}
+	if *spillDir != "" {
+		log.Printf("predserverd: two-tier store: spilling cold paths to %s", *spillDir)
+	}
 
 	if *snapshotPath != "" {
 		st, err := srv.RestoreSnapshot(*snapshotPath)
@@ -160,6 +173,13 @@ func main() {
 	if m.PanicsRecovered > 0 || m.RequestsShed > 0 || m.SnapshotFailures > 0 {
 		log.Printf("predserverd: resilience: panics_recovered=%d requests_shed=%d snapshot_failures=%d snapshot_retries=%d rejected_inputs=%d",
 			m.PanicsRecovered, m.RequestsShed, m.SnapshotFailures, m.SnapshotRetries, m.RejectedInputs)
+	}
+	if ts := srv.Registry().TierStats(); ts.Spills > 0 || ts.ColdPaths > 0 {
+		log.Printf("predserverd: store tiers: hot=%d cold=%d spills=%d faults=%d errors=%d",
+			ts.HotPaths, ts.ColdPaths, ts.Spills, ts.Faults, ts.Errors)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("predserverd: WARNING: closing store: %v", err)
 	}
 	fmt.Println("predserverd: shut down cleanly")
 }

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestOwnerDeterministic: two independently built maps over the same nodes
+// must agree on every path — the property that lets every client route
+// without coordination.
+func TestOwnerDeterministic(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	m1 := New(nodes...)
+	m2 := New(nodes...)
+	for i := 0; i < 1000; i++ {
+		p := fmt.Sprintf("path-%d", i)
+		if m1.Owner(p) != m2.Owner(p) {
+			t.Fatalf("maps disagree on %s: %d vs %d", p, m1.Owner(p), m2.Owner(p))
+		}
+	}
+	if got := m1.Node("path-0"); got != nodes[m1.Owner("path-0")] {
+		t.Fatalf("Node/Owner inconsistent: %q", got)
+	}
+}
+
+// TestBalance: rendezvous hashing must spread paths roughly evenly — each
+// of 4 nodes owns within [15%, 35%] of 20k paths (fair share 25%).
+func TestBalance(t *testing.T) {
+	m := New("n0", "n1", "n2", "n3")
+	counts := make([]int, 4)
+	const paths = 20_000
+	for i := 0; i < paths; i++ {
+		counts[m.Owner(fmt.Sprintf("path-%d", i))]++
+	}
+	for n, c := range counts {
+		frac := float64(c) / paths
+		if frac < 0.15 || frac > 0.35 {
+			t.Fatalf("node %d owns %.1f%% of paths (counts %v)", n, 100*frac, counts)
+		}
+	}
+}
+
+// TestMinimalDisruption: removing a node must only remap the paths it
+// owned; every other path keeps its owner. This is the property that makes
+// rendezvous hashing cluster-resize friendly.
+func TestMinimalDisruption(t *testing.T) {
+	full := New("n0", "n1", "n2")
+	reduced := New("n0", "n1")
+	moved := 0
+	const paths = 5000
+	for i := 0; i < paths; i++ {
+		p := fmt.Sprintf("path-%d", i)
+		before := full.Node(p)
+		after := reduced.Node(p)
+		if before == "n2" {
+			moved++
+			continue // had to move somewhere
+		}
+		if before != after {
+			t.Fatalf("%s moved %s → %s though its owner survived", p, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no paths were owned by the removed node — balance test should have caught this")
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	empty := New()
+	if got := empty.Owner("x"); got != -1 {
+		t.Fatalf("empty map Owner = %d, want -1", got)
+	}
+	if got := empty.Node("x"); got != "" {
+		t.Fatalf("empty map Node = %q, want empty", got)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("empty map Len = %d", empty.Len())
+	}
+	one := New("solo")
+	for _, p := range []string{"a", "b", "c"} {
+		if got := one.Node(p); got != "solo" {
+			t.Fatalf("single-node map routed %s to %q", p, got)
+		}
+	}
+	if got := one.Nodes(); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("Nodes = %v", got)
+	}
+}

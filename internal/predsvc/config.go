@@ -34,11 +34,22 @@ type Config struct {
 	// Shards is the number of registry shards, rounded up to a power of
 	// two (default 16). More shards reduce lock contention.
 	Shards int
-	// Capacity is the maximum number of paths kept registry-wide; the
+	// Capacity is the maximum number of paths kept hot in memory; the
 	// least-recently-used path of a full shard is evicted to admit a new
 	// one. Enforced per shard as Capacity/Shards (default 4096, min 1 per
-	// shard).
+	// shard). Without SpillDir an eviction loses the session; with it the
+	// session spills to disk instead.
 	Capacity int
+
+	// SpillDir, when non-empty, backs the registry with the two-tier
+	// store.SpillStore: the LRU keeps Capacity sessions hot in memory and
+	// evicts cold ones to an append-only checksummed log under SpillDir,
+	// faulting them back in on access — one node holds millions of cold
+	// paths in bounded RSS. The log is a cache extension, truncated on
+	// boot; snapshots remain the restart durability story. Honored by
+	// OpenRegistry and Open (NewServer/NewRegistry panic if the directory
+	// cannot be opened).
+	SpillDir string
 
 	// ErrorWindow is the number of most recent relative errors (paper
 	// Eq. 4) retained per predictor for the rolling RMSRE (default 50).

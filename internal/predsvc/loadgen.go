@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/predict"
+	"repro/internal/predsvc/cluster"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/testbed"
@@ -99,6 +100,19 @@ func SyntheticSeries(paths, epochs int, seed int64) []PathSeries {
 type LoadConfig struct {
 	// BaseURL of the daemon, e.g. "http://127.0.0.1:8355".
 	BaseURL string
+	// Cluster lists the base URLs of a multi-node deployment. When
+	// non-empty every path's requests are routed to the node owning it
+	// under rendezvous hashing (cluster.Map), and BaseURL is unused.
+	// Per-path state lives entirely on one node, so the predict digest of
+	// a clustered replay equals the single-node digest for the same
+	// series — the property scripts/cluster.sh gates on.
+	Cluster []string
+	// BatchObserve groups each worker's per-epoch observations into one
+	// POST /v1/observe-batch per node instead of one /v1/observe per
+	// path, amortizing ingest over far fewer requests. Per-path request
+	// order (measure → predict → observe per epoch) is preserved, so the
+	// digest is unchanged.
+	BatchObserve bool
 	// Workers is the number of concurrent client goroutines; each path is
 	// owned by exactly one worker, so per-path request order (measure →
 	// predict → observe per epoch) is preserved — the determinism
@@ -239,6 +253,19 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 	// right after a replay would stall its full timeout waiting on them.
 	defer client.CloseIdleConnections()
 
+	// Cluster routing: a shared rendezvous map sends each path's requests
+	// to its owning node. Nil router = single-node mode on BaseURL.
+	var router *cluster.Map
+	if len(cfg.Cluster) > 0 {
+		router = cluster.New(cfg.Cluster...)
+	}
+	baseFor := func(path string) string {
+		if router != nil {
+			return router.Node(path)
+		}
+		return cfg.BaseURL
+	}
+
 	// Chaos mode: one shared seeded injector across workers. Each
 	// per-epoch evaluation consumes one draw under the injector's lock, so
 	// the total number of injected faults is fixed by (series, seed) even
@@ -252,7 +279,11 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 			faultinject.Rule{Site: siteClientAbort, Probability: chaosCfg.AbortProb},
 			faultinject.Rule{Site: siteClientSlow, Probability: chaosCfg.SlowProb},
 		)
-		if u, err := url.Parse(cfg.BaseURL); err == nil {
+		slowTarget := cfg.BaseURL
+		if router != nil && router.Len() > 0 {
+			slowTarget = router.Nodes()[0]
+		}
+		if u, err := url.Parse(slowTarget); err == nil {
 			host = u.Host
 		}
 	}
@@ -277,7 +308,7 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 			defer wg.Done()
 			lw := loadWorker{
 				cfg: cfg, client: client, digests: make(map[string]string),
-				chaos: chaos, chaosCfg: chaosCfg, host: host,
+				baseFor: baseFor, chaos: chaos, chaosCfg: chaosCfg, host: host,
 			}
 			// Epoch-major over this worker's paths so load interleaves
 			// across paths instead of finishing them one by one.
@@ -300,6 +331,10 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 					}
 					lw.epoch(ctx, ps, e)
 				}
+				// In batch mode the epoch's observations are pending: one
+				// observe-batch per node closes the epoch, keeping each
+				// path's observe before its next measure/predict.
+				lw.flushObserves(ctx)
 			}
 			outs[w] = workerOut{
 				requests: lw.requests, errors: lw.errors,
@@ -335,7 +370,7 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 	// middleware), a production daemon just serves the prediction. Either
 	// way the response stays out of the digest.
 	if cfg.Chaos != nil && len(series) > 0 && ctx.Err() == nil {
-		probe := cfg.BaseURL + "/v1/predict?path=" + url.QueryEscape(series[0].Path)
+		probe := baseFor(series[0].Path) + "/v1/predict?path=" + url.QueryEscape(series[0].Path)
 		for i := 0; i < chaosCfg.Panics; i++ {
 			rep.ChaosRequests++
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, probe, nil)
@@ -389,11 +424,16 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 type loadWorker struct {
 	cfg      LoadConfig
 	client   *http.Client
+	baseFor  func(path string) string // path → owning node's base URL
 	requests uint64
 	errors   uint64
 	scored   []float64
 	digests  map[string]string // path → running hex digest chain
 	err      error
+
+	// pending buffers this epoch round's observations per node when
+	// BatchObserve is on; flushObserves drains it between epoch indices.
+	pending map[string][]ObserveRequest
 
 	// chaos state (nil injector = chaos off)
 	chaos         *faultinject.Injector
@@ -415,10 +455,14 @@ func (lw *loadWorker) epoch(ctx context.Context, ps PathSeries, e int) {
 		}
 	}
 	actual := ps.Throughputs[e]
+	base := lw.cfg.BaseURL
+	if lw.baseFor != nil {
+		base = lw.baseFor(ps.Path)
+	}
 	hasInputs := ps.Inputs != nil
 	if hasInputs {
 		in := ps.Inputs[e]
-		lw.post(ctx, "/v1/measure", MeasureRequest{
+		lw.post(ctx, base, "/v1/measure", MeasureRequest{
 			Path: ps.Path, RTTSeconds: in.RTT, LossRate: in.LossRate, AvailBwBps: in.AvailBw,
 		}, nil)
 	}
@@ -426,7 +470,7 @@ func (lw *loadWorker) epoch(ctx context.Context, ps PathSeries, e int) {
 	// the predict so a pure-HB replay never asks about an unknown path.
 	if hasInputs || e > 0 {
 		var pred Prediction
-		body := lw.get(ctx, "/v1/predict?path="+url.QueryEscape(ps.Path), &pred)
+		body := lw.get(ctx, base, "/v1/predict?path="+url.QueryEscape(ps.Path), &pred)
 		if body != nil {
 			prev := lw.digests[ps.Path]
 			sum := sha256.Sum256(append([]byte(prev), body...))
@@ -436,7 +480,45 @@ func (lw *loadWorker) epoch(ctx context.Context, ps PathSeries, e int) {
 			}
 		}
 	}
-	lw.post(ctx, "/v1/observe", ObserveRequest{Path: ps.Path, ThroughputBps: actual}, nil)
+	ob := ObserveRequest{Path: ps.Path, ThroughputBps: actual}
+	if lw.cfg.BatchObserve {
+		if lw.pending == nil {
+			lw.pending = make(map[string][]ObserveRequest)
+		}
+		lw.pending[base] = append(lw.pending[base], ob)
+		return
+	}
+	lw.post(ctx, base, "/v1/observe", ob, nil)
+}
+
+// flushObserves drains the batch-observe buffer: one POST
+// /v1/observe-batch per node (chunked at the server's item cap), in
+// enqueue order. Called between epoch indices, it lands every path's
+// epoch-e observation before that path's epoch-e+1 measure/predict, so
+// the service sees the exact per-path sequence of unbatched mode.
+func (lw *loadWorker) flushObserves(ctx context.Context) {
+	if len(lw.pending) == 0 {
+		return
+	}
+	nodes := make([]string, 0, len(lw.pending))
+	for n := range lw.pending {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		obs := lw.pending[node]
+		for len(obs) > 0 && lw.err == nil {
+			n := len(obs)
+			if n > maxBatchItems {
+				n = maxBatchItems
+			}
+			var out ObserveBatchResponse
+			lw.post(ctx, node, "/v1/observe-batch", ObserveBatchRequest{Observations: obs[:n]}, &out)
+			lw.errors += uint64(out.Rejected)
+			obs = obs[n:]
+		}
+	}
+	lw.pending = make(map[string][]ObserveRequest)
 }
 
 // chaosAbort fires an extra predict request and abandons it almost
@@ -445,10 +527,14 @@ func (lw *loadWorker) epoch(ctx context.Context, ps PathSeries, e int) {
 // fault-free digest are untouched.
 func (lw *loadWorker) chaosAbort(ctx context.Context, path string) {
 	lw.chaosRequests++
+	base := lw.cfg.BaseURL
+	if lw.baseFor != nil {
+		base = lw.baseFor(path)
+	}
 	actx, cancel := context.WithTimeout(ctx, 500*time.Microsecond)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodGet,
-		lw.cfg.BaseURL+"/v1/predict?path="+url.QueryEscape(path), nil)
+		base+"/v1/predict?path="+url.QueryEscape(path), nil)
 	if err != nil {
 		return
 	}
@@ -484,7 +570,7 @@ func (lw *loadWorker) chaosSlowloris() {
 	}
 }
 
-func (lw *loadWorker) post(ctx context.Context, path string, body, out any) {
+func (lw *loadWorker) post(ctx context.Context, base, path string, body, out any) {
 	if lw.err != nil {
 		return
 	}
@@ -493,16 +579,16 @@ func (lw *loadWorker) post(ctx context.Context, path string, body, out any) {
 		lw.err = err
 		return
 	}
-	lw.do(ctx, http.MethodPost, lw.cfg.BaseURL+path, data, out)
+	lw.do(ctx, http.MethodPost, base+path, data, out)
 }
 
 // get performs a GET and returns the raw body on HTTP 200 (nil otherwise),
 // decoding into out when non-nil.
-func (lw *loadWorker) get(ctx context.Context, path string, out any) []byte {
+func (lw *loadWorker) get(ctx context.Context, base, path string, out any) []byte {
 	if lw.err != nil {
 		return nil
 	}
-	return lw.do(ctx, http.MethodGet, lw.cfg.BaseURL+path, nil, out)
+	return lw.do(ctx, http.MethodGet, base+path, nil, out)
 }
 
 // do issues one request, transparently retrying 429 (load-shed) responses

@@ -15,10 +15,12 @@ const (
 	epPredict
 	epStats
 	epVars
+	epObserveBatch
+	epPredictBatch
 	epCount
 )
 
-var endpointNames = [epCount]string{"observe", "measure", "predict", "stats", "debug_vars"}
+var endpointNames = [epCount]string{"observe", "measure", "predict", "stats", "debug_vars", "observe_batch", "predict_batch"}
 
 // histBuckets is the number of exponential latency buckets: bucket i
 // counts requests with latency < 2^i microseconds; the last bucket is a

@@ -21,7 +21,9 @@ import (
 //	predsvc_request_duration_seconds{endpoint=E}  latency histogram (2^i µs buckets)
 //	predsvc_observations_total …                  the business + resilience counters
 //	predsvc_paths, predsvc_path_capacity          registry occupancy
-//	predsvc_evictions_total                       LRU evictions
+//	predsvc_evictions_total                       hot-tier LRU evictions
+//	predsvc_store_hot_paths, …_cold_paths         storage-tier occupancy
+//	predsvc_store_spills_total, …_faults_total    disk-tier traffic (see store.TierStats)
 //	predsvc_uptime_seconds                        since NewServer
 //	predsvc_rmsre{predictor=P}                    mean rolling RMSRE (Eq. 5) across paths
 //	predsvc_lso_shifts, predsvc_lso_outliers      LSO detections summed over live sessions
@@ -60,10 +62,25 @@ func (r *Server) RegisterObsMetrics(m *obs.Registry) {
 
 	m.GaugeFunc("predsvc_paths", "paths currently registered",
 		func() float64 { return float64(r.reg.Len()) })
-	m.GaugeFunc("predsvc_path_capacity", "registry path capacity",
+	m.GaugeFunc("predsvc_path_capacity", "registry hot-tier path capacity",
 		func() float64 { return float64(r.reg.Capacity()) })
-	m.CounterFunc("predsvc_evictions_total", "LRU path evictions",
+	m.CounterFunc("predsvc_evictions_total", "hot-tier LRU path evictions",
 		r.reg.Evictions)
+
+	// Storage tiers (see internal/predsvc/store): on the in-memory store
+	// cold/spills/faults stay zero; on a spill store they track the disk
+	// tier — occupancy gauges, and counters for sessions serialized out
+	// (spills) and read back (faults).
+	m.GaugeFunc("predsvc_store_hot_paths", "sessions resident in the in-memory hot tier",
+		func() float64 { return float64(r.reg.TierStats().HotPaths) })
+	m.GaugeFunc("predsvc_store_cold_paths", "sessions resident only in the spill log",
+		func() float64 { return float64(r.reg.TierStats().ColdPaths) })
+	m.CounterFunc("predsvc_store_spills_total", "sessions spilled to the cold tier on eviction",
+		func() uint64 { return r.reg.TierStats().Spills })
+	m.CounterFunc("predsvc_store_faults_total", "spill-log reads that rebuilt a session",
+		func() uint64 { return r.reg.TierStats().Faults })
+	m.CounterFunc("predsvc_store_errors_total", "spill records dropped on checksum or codec failure",
+		func() uint64 { return r.reg.TierStats().Errors })
 	m.GaugeFunc("predsvc_uptime_seconds", "seconds since the server was built",
 		func() float64 { return time.Since(r.start).Seconds() })
 	m.GaugeFunc("predsvc_goroutines", "goroutines in the process",

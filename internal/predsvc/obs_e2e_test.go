@@ -90,6 +90,26 @@ func TestMetricsEndpointE2E(t *testing.T) {
 	if _, err := Replay(context.Background(), LoadConfig{BaseURL: base, Workers: 4}, series); err != nil {
 		t.Fatal(err)
 	}
+	// One round through each batch endpoint so their per-endpoint families
+	// appear in the exposition.
+	if resp, err := http.Post(base+"/v1/observe-batch", "application/json",
+		strings.NewReader(`{"observations":[{"path":"batched","throughput_bps":1e7}]}`)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe-batch status = %d", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Post(base+"/v1/predict-batch", "application/json",
+		strings.NewReader(`{"paths":["batched"]}`)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict-batch status = %d", resp.StatusCode)
+		}
+	}
 	req, _ := http.NewRequest(http.MethodGet, base+"/v1/stats", nil)
 	req.Header.Set(ChaosPanicHeader, "1")
 	if resp, err := http.DefaultClient.Do(req); err != nil {
@@ -145,6 +165,10 @@ func TestMetricsEndpointE2E(t *testing.T) {
 		{"predsvc_observations_total", float64(ms.Observations)},
 		{"predsvc_predictions_total", float64(ms.Predictions)},
 		{"predsvc_paths", float64(vars.Predsvc.Paths)},
+		// The in-memory store keeps everything hot; the tier gauges must
+		// say exactly that.
+		{"predsvc_store_hot_paths", float64(vars.Predsvc.Paths)},
+		{"predsvc_store_cold_paths", 0},
 	} {
 		if got := sampleValue(t, exposition, tc.sample); got != tc.want {
 			t.Errorf("%s = %v, /debug/vars says %v", tc.sample, got, tc.want)
@@ -161,13 +185,25 @@ func TestMetricsEndpointE2E(t *testing.T) {
 	// histograms made it out too.
 	for _, want := range []string{
 		`predsvc_requests_total{endpoint="observe"}`,
+		`predsvc_requests_total{endpoint="observe_batch"}`,
+		`predsvc_requests_total{endpoint="predict_batch"}`,
 		`predsvc_request_duration_seconds_bucket{endpoint="predict",le="+Inf"}`,
+		`predsvc_request_duration_seconds_bucket{endpoint="observe_batch",le="+Inf"}`,
+		`predsvc_request_duration_seconds_bucket{endpoint="predict_batch",le="+Inf"}`,
 		`predsvc_rmsre{predictor="FB"}`,
 		"predsvc_lso_shifts",
+		"predsvc_store_spills_total",
+		"predsvc_store_faults_total",
 		"predsvc_uptime_seconds",
 	} {
 		if !strings.Contains(exposition, want) {
 			t.Errorf("exposition missing %q", want)
+		}
+	}
+	for _, ep := range []string{"observe_batch", "predict_batch"} {
+		name := `predsvc_requests_total{endpoint="` + ep + `"}`
+		if got := sampleValue(t, exposition, name); got != 1 {
+			t.Errorf("%s = %v, want 1 (one batch request was sent)", name, got)
 		}
 	}
 

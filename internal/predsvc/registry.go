@@ -1,158 +1,170 @@
 package predsvc
 
 import (
-	"container/list"
-	"hash/fnv"
+	"encoding/json"
 	"sort"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/predsvc/store"
 )
 
-// Registry is the sharded in-memory path → Session map. Paths hash onto a
-// power-of-two number of shards; each shard is guarded by its own RWMutex
-// and evicts its least-recently-used session when it reaches its share of
-// the configured capacity. Sessions serialize their own predictor state,
-// so registry locks are held only for map/recency bookkeeping, never
-// across prediction work.
+// Registry is the path → Session map of the service, a thin façade over
+// the store.Store interface: all concrete map/LRU/spill machinery lives
+// in internal/predsvc/store, and everything above this point — Server,
+// snapshots, obs metrics — talks to the interface only.
+//
+// Two backings ship today: the sharded in-memory MemStore (the default;
+// an evicted path loses its session) and the two-tier SpillStore
+// (Config.SpillDir; evicted sessions spill to a checksummed disk log and
+// fault back in on access, so cold paths survive far beyond Capacity).
 type Registry struct {
-	cfg       Config
-	shards    []*shard
-	mask      uint64
-	evictions atomic.Uint64
+	cfg Config
+	st  store.Store
 }
 
-type shard struct {
-	mu       sync.RWMutex
-	capacity int
-	elems    map[string]*list.Element // path → element in lru
-	lru      *list.List               // front = most recently used
-}
-
-// NewRegistry builds a registry from cfg (zero value: defaults).
+// NewRegistry builds an in-memory registry from cfg (zero value:
+// defaults). cfg.SpillDir is ignored here — use OpenRegistry for a
+// registry that may need disk resources.
 func NewRegistry(cfg Config) *Registry {
 	cfg = cfg.withDefaults()
-	perShard := cfg.Capacity / cfg.Shards
-	if perShard < 1 {
-		perShard = 1
+	return &Registry{cfg: cfg, st: store.NewMem(memConfig(cfg))}
+}
+
+// OpenRegistry builds a registry honoring cfg.SpillDir: empty gives the
+// in-memory store, non-empty the disk-spilling two-tier store (whose log
+// directory must be creatable — the only error source).
+func OpenRegistry(cfg Config) (*Registry, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SpillDir == "" {
+		return &Registry{cfg: cfg, st: store.NewMem(memConfig(cfg))}, nil
 	}
-	r := &Registry{cfg: cfg, mask: uint64(cfg.Shards - 1)}
-	r.shards = make([]*shard, cfg.Shards)
-	for i := range r.shards {
-		r.shards[i] = &shard{
-			capacity: perShard,
-			elems:    make(map[string]*list.Element),
-			lru:      list.New(),
-		}
+	st, err := store.OpenSpill(store.SpillConfig{
+		Mem:   memConfig(cfg),
+		Dir:   cfg.SpillDir,
+		Codec: sessionCodec(cfg),
+	})
+	if err != nil {
+		return nil, err
 	}
-	return r
+	return &Registry{cfg: cfg, st: st}, nil
+}
+
+// NewRegistryOn wraps an arbitrary store.Store implementation — the seam
+// for routed, remote, or test stores. The store's entries must be
+// *Session values created by a session factory from the same Config.
+func NewRegistryOn(cfg Config, st store.Store) *Registry {
+	return &Registry{cfg: cfg.withDefaults(), st: st}
+}
+
+// memConfig maps the service Config onto the hot tier's store config,
+// with the session constructor as the entry factory.
+func memConfig(cfg Config) store.MemConfig {
+	return store.MemConfig{
+		Shards:   cfg.Shards,
+		Capacity: cfg.Capacity,
+		New:      func(path string) store.Entry { return newSession(path, cfg) },
+	}
+}
+
+// sessionCodec serializes sessions across the hot/cold boundary as their
+// JSON PathSnapshot — the same replayable state the registry snapshot
+// persists, with the same documented approximation (EWMA/Holt-Winters
+// influence beyond HistoryLimit observations is dropped on fault-in).
+func sessionCodec(cfg Config) store.Codec {
+	return store.Codec{
+		Encode: func(e store.Entry) ([]byte, error) {
+			return json.Marshal(e.(*Session).snapshot())
+		},
+		Decode: func(path string, data []byte) (store.Entry, error) {
+			var ps PathSnapshot
+			if err := json.Unmarshal(data, &ps); err != nil {
+				return nil, err
+			}
+			s := newSession(path, cfg)
+			s.restore(ps)
+			return s, nil
+		},
+	}
 }
 
 // Config returns the effective (defaulted) configuration.
 func (r *Registry) Config() Config { return r.cfg }
 
-// Shards returns the shard count (a power of two).
-func (r *Registry) Shards() int { return len(r.shards) }
+// Store exposes the underlying storage tier.
+func (r *Registry) Store() store.Store { return r.st }
 
-// Capacity returns the registry-wide session capacity actually enforced
-// (per-shard capacity × shard count).
-func (r *Registry) Capacity() int { return r.shards[0].capacity * len(r.shards) }
+// Shards returns the hot tier's shard count (a power of two).
+func (r *Registry) Shards() int { return r.st.Shards() }
 
-func (r *Registry) shardFor(path string) *shard {
-	h := fnv.New64a()
-	h.Write([]byte(path))
-	return r.shards[h.Sum64()&r.mask]
-}
+// Capacity returns the enforced hot-tier session capacity.
+func (r *Registry) Capacity() int { return r.st.Capacity() }
 
-// GetOrCreate returns the session for path, creating it (and possibly
-// evicting the shard's least-recently-used session) if absent. The
+// GetOrCreate returns the session for path, creating it (possibly
+// evicting — or, on a spill store, demoting — another) if absent. The
 // returned session is marked most recently used.
 func (r *Registry) GetOrCreate(path string) *Session {
-	sh := r.shardFor(path)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if e, ok := sh.elems[path]; ok {
-		sh.lru.MoveToFront(e)
-		return e.Value.(*Session)
-	}
-	for sh.lru.Len() >= sh.capacity {
-		oldest := sh.lru.Back()
-		sh.lru.Remove(oldest)
-		delete(sh.elems, oldest.Value.(*Session).path)
-		r.evictions.Add(1)
-	}
-	s := newSession(path, r.cfg)
-	sh.elems[path] = sh.lru.PushFront(s)
-	return s
+	return r.st.GetOrCreate(path).(*Session)
 }
 
 // Lookup returns the session for path if present, marking it most
-// recently used.
+// recently used (a spill store promotes a cold session back into
+// memory).
 func (r *Registry) Lookup(path string) (*Session, bool) {
-	sh := r.shardFor(path)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	e, ok := sh.elems[path]
+	e, ok := r.st.Lookup(path)
 	if !ok {
 		return nil, false
 	}
-	sh.lru.MoveToFront(e)
-	return e.Value.(*Session), true
+	return e.(*Session), true
 }
 
-// Peek returns the session for path without touching recency (shared
-// lock only) — for stats and snapshots.
+// Peek returns the session for path without touching recency — for stats
+// and snapshots. On a spill store a cold session is served as a
+// transient decoded copy: reads are accurate, mutations are lost.
 func (r *Registry) Peek(path string) (*Session, bool) {
-	sh := r.shardFor(path)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	e, ok := sh.elems[path]
+	e, ok := r.st.Peek(path)
 	if !ok {
 		return nil, false
 	}
-	return e.Value.(*Session), true
+	return e.(*Session), true
 }
 
-// Len returns the number of registered paths.
-func (r *Registry) Len() int {
-	n := 0
-	for _, sh := range r.shards {
-		sh.mu.RLock()
-		n += len(sh.elems)
-		sh.mu.RUnlock()
+// Len returns the number of registered paths across all tiers.
+func (r *Registry) Len() int { return r.st.Len() }
+
+// Evictions returns the number of hot-tier evictions since construction
+// (on a spill store each one is a spill, not a loss).
+func (r *Registry) Evictions() uint64 { return r.st.Evictions() }
+
+// TierStats reports hot/cold occupancy and spill/fault activity.
+func (r *Registry) TierStats() store.TierStats { return r.st.Stats() }
+
+// Recent returns up to n hot-tier sessions, most recently used first.
+func (r *Registry) Recent(n int) []*Session {
+	entries := r.st.Recent(n)
+	out := make([]*Session, len(entries))
+	for i, e := range entries {
+		out[i] = e.(*Session)
 	}
-	return n
+	return out
 }
-
-// Evictions returns the number of LRU evictions since construction.
-func (r *Registry) Evictions() uint64 { return r.evictions.Load() }
 
 // Paths returns all registered path names, sorted.
 func (r *Registry) Paths() []string {
-	var out []string
-	for _, sh := range r.shards {
-		sh.mu.RLock()
-		for p := range sh.elems {
-			out = append(out, p)
-		}
-		sh.mu.RUnlock()
-	}
+	out := r.st.Paths()
 	sort.Strings(out)
 	return out
 }
 
-// forEachLRU visits every session shard by shard, least recently used
-// first within each shard, without touching recency. fn runs outside the
-// shard lock's critical path for session state (sessions self-lock).
+// Close releases the store's disk resources (a no-op for the in-memory
+// store). The registry must not be used after.
+func (r *Registry) Close() error { return r.st.Close() }
+
+// forEachLRU visits every session coldest first (cold tier, then each
+// hot shard least recently used first) without touching recency.
+// Sessions self-lock; on the in-memory store fn runs outside the shard
+// locks.
 func (r *Registry) forEachLRU(fn func(*Session)) {
-	for _, sh := range r.shards {
-		sh.mu.RLock()
-		sessions := make([]*Session, 0, sh.lru.Len())
-		for e := sh.lru.Back(); e != nil; e = e.Prev() {
-			sessions = append(sessions, e.Value.(*Session))
-		}
-		sh.mu.RUnlock()
-		for _, s := range sessions {
-			fn(s)
-		}
-	}
+	r.st.Range(func(e store.Entry) bool {
+		fn(e.(*Session))
+		return true
+	})
 }

@@ -10,10 +10,12 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/predict"
+	"repro/internal/predsvc/store"
 )
 
 // Fault-injection sites understood by the server (see Config.Faults and
@@ -37,14 +39,18 @@ const ChaosPanicHeader = "X-Chaos-Panic"
 
 // Server wires a Registry and Metrics behind the HTTP JSON API:
 //
-//	POST /v1/observe   {"path", "throughput_bps"}            → feed a transfer's achieved throughput
-//	POST /v1/measure   {"path", "rtt_s", "loss_rate", "avail_bw_bps"} → install a-priori measurements
-//	GET  /v1/predict?path=P                                  → forecasts + accuracy + best predictor
-//	GET  /v1/stats[?path=P]                                  → service (or per-path) statistics
-//	GET  /debug/vars                                         → expvar-style metrics dump
+//	POST /v1/observe        {"path", "throughput_bps"}            → feed a transfer's achieved throughput
+//	POST /v1/measure        {"path", "rtt_s", "loss_rate", "avail_bw_bps"} → install a-priori measurements
+//	GET  /v1/predict?path=P                                       → forecasts + accuracy + best predictor
+//	POST /v1/observe-batch  {"observations":[...]}                → feed many observations in one request
+//	POST /v1/predict-batch  {"paths":[...]}                       → predictions for many paths in one request
+//	GET  /v1/stats[?path=P][&limit=N]                             → service (or per-path) statistics
+//	GET  /debug/vars                                              → expvar-style metrics dump
 //
 // Handlers are goroutine-safe; /v1/predict responses are byte-identical
-// for a fixed per-path request sequence (see the package comment).
+// for a fixed per-path request sequence (see the package comment). The
+// batch endpoints amortize connection and HTTP overhead for bulk ingest
+// (cluster clients batch per node — see cmd/predload -cluster).
 type Server struct {
 	cfg     Config
 	reg     *Registry
@@ -56,11 +62,27 @@ type Server struct {
 	start   time.Time
 }
 
-// NewServer builds a server with a fresh registry.
+// NewServer builds a server with a fresh registry. It panics when
+// cfg.SpillDir is set but unusable; daemons that want that error
+// surfaced cleanly use Open.
 func NewServer(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a server with a fresh registry honoring cfg.SpillDir. The
+// only error source is an unusable spill directory.
+func Open(cfg Config) (*Server, error) {
+	reg, err := OpenRegistry(cfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		cfg:     cfg.withDefaults(),
-		reg:     NewRegistry(cfg),
+		cfg:     reg.Config(),
+		reg:     reg,
 		metrics: &Metrics{},
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
@@ -71,6 +93,8 @@ func NewServer(cfg Config) *Server {
 	s.mux.Handle("GET /v1/predict", s.instrument(epPredict, s.handlePredict))
 	s.mux.Handle("GET /v1/stats", s.instrument(epStats, s.handleStats))
 	s.mux.Handle("GET /debug/vars", s.instrument(epVars, s.handleVars))
+	s.mux.Handle("POST /v1/observe-batch", s.instrument(epObserveBatch, s.handleObserveBatch))
+	s.mux.Handle("POST /v1/predict-batch", s.instrument(epPredictBatch, s.handlePredictBatch))
 	if s.cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, s.cfg.MaxInFlight)
 	}
@@ -89,7 +113,7 @@ func NewServer(cfg Config) *Server {
 			api.ServeHTTP(w, req)
 		})
 	}
-	return s
+	return s, nil
 }
 
 // harden wraps the mux with the resilience middleware, outermost first:
@@ -156,6 +180,11 @@ func (w *shieldWriter) Write(b []byte) (int, error) {
 
 // Registry exposes the underlying path registry.
 func (r *Server) Registry() *Registry { return r.reg }
+
+// Close releases the registry's disk resources (a no-op on the in-memory
+// store). Call after Serve has returned and the final snapshot is
+// written; the server must not be used after.
+func (r *Server) Close() error { return r.reg.Close() }
 
 // Metrics exposes the server's counters.
 func (r *Server) Metrics() *Metrics { return r.metrics }
@@ -440,7 +469,21 @@ func (r *Server) handlePredict(w http.ResponseWriter, req *http.Request) int {
 	return writeJSON(w, http.StatusOK, p)
 }
 
-// StatsResponse is the service-wide statistics payload.
+// DefaultStatsLimit is how many recent paths /v1/stats lists when the
+// request carries no ?limit=N — a bound, not a sample: with a large
+// registry an unbounded listing would marshal every path.
+const DefaultStatsLimit = 100
+
+// PathActivity is one hot path's row in the stats listing.
+type PathActivity struct {
+	Path         string `json:"path"`
+	Observations uint64 `json:"observations"`
+}
+
+// StatsResponse is the service-wide statistics payload. RecentPaths
+// lists at most the requested limit of hot-tier paths, most recently
+// used first; Truncated reports that more paths exist than were listed
+// (beyond the limit, or resident only in the cold tier).
 type StatsResponse struct {
 	UptimeSeconds float64         `json:"uptime_s"`
 	Paths         int             `json:"paths"`
@@ -448,26 +491,124 @@ type StatsResponse struct {
 	Shards        int             `json:"shards"`
 	Evictions     uint64          `json:"evictions"`
 	Goroutines    int             `json:"goroutines"`
+	Store         store.TierStats `json:"store"`
+	RecentPaths   []PathActivity  `json:"recent_paths"`
+	Truncated     bool            `json:"truncated"`
 	Metrics       MetricsSnapshot `json:"metrics"`
 }
 
 func (r *Server) handleStats(w http.ResponseWriter, req *http.Request) int {
-	if path := req.URL.Query().Get("path"); path != "" {
+	q := req.URL.Query()
+	if path := q.Get("path"); path != "" {
 		sess, ok := r.reg.Peek(path)
 		if !ok {
 			return writeError(w, http.StatusNotFound, "unknown path %q", path)
 		}
 		return writeJSON(w, http.StatusOK, sess.Predict())
 	}
+	limit := DefaultStatsLimit
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+		}
+		limit = n
+	}
+	recent := r.reg.Recent(limit)
+	listed := make([]PathActivity, len(recent))
+	for i, sess := range recent {
+		listed[i] = PathActivity{Path: sess.Path(), Observations: sess.Observations()}
+	}
+	total := r.reg.Len()
 	return writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: time.Since(r.start).Seconds(),
-		Paths:         r.reg.Len(),
+		Paths:         total,
 		Capacity:      r.reg.Capacity(),
 		Shards:        r.reg.Shards(),
 		Evictions:     r.reg.Evictions(),
 		Goroutines:    runtime.NumGoroutine(),
+		Store:         r.reg.TierStats(),
+		RecentPaths:   listed,
+		Truncated:     len(listed) < total,
 		Metrics:       r.metrics.Snapshot(),
 	})
+}
+
+// maxBatchItems bounds one batch request's item count; past it the whole
+// request is rejected rather than partially applied.
+const maxBatchItems = 4096
+
+// ObserveBatchRequest feeds many observations in one request. Items are
+// applied in order; invalid items are counted and skipped, never aborting
+// the rest of the batch.
+type ObserveBatchRequest struct {
+	Observations []ObserveRequest `json:"observations"`
+}
+
+// ObserveBatchResponse reports how the batch fared.
+type ObserveBatchResponse struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+}
+
+func (r *Server) handleObserveBatch(w http.ResponseWriter, req *http.Request) int {
+	var body ObserveBatchRequest
+	if err := decodeBody(w, req, &body); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	if len(body.Observations) > maxBatchItems {
+		return writeError(w, http.StatusBadRequest, "batch of %d observations exceeds the %d-item cap", len(body.Observations), maxBatchItems)
+	}
+	var resp ObserveBatchResponse
+	for _, ob := range body.Observations {
+		if ob.Path == "" || !ValidObservation(ob.ThroughputBps) {
+			r.metrics.rejectedInputs.Add(1)
+			resp.Rejected++
+			continue
+		}
+		r.reg.GetOrCreate(ob.Path).Observe(ob.ThroughputBps)
+		r.metrics.observations.Add(1)
+		resp.Accepted++
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// PredictBatchRequest asks for predictions on many paths in one request.
+type PredictBatchRequest struct {
+	Paths []string `json:"paths"`
+}
+
+// PredictBatchResponse carries one Prediction per known path, in request
+// order, with unknown paths listed separately (a batch is not failed by
+// a 404-worthy member).
+type PredictBatchResponse struct {
+	Predictions []Prediction `json:"predictions"`
+	Missing     []string     `json:"missing,omitempty"`
+}
+
+func (r *Server) handlePredictBatch(w http.ResponseWriter, req *http.Request) int {
+	var body PredictBatchRequest
+	if err := decodeBody(w, req, &body); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	if len(body.Paths) > maxBatchItems {
+		return writeError(w, http.StatusBadRequest, "batch of %d paths exceeds the %d-item cap", len(body.Paths), maxBatchItems)
+	}
+	var resp PredictBatchResponse
+	for _, path := range body.Paths {
+		sess, ok := r.reg.Lookup(path)
+		if !ok {
+			resp.Missing = append(resp.Missing, path)
+			continue
+		}
+		r.metrics.predictions.Add(1)
+		p := sess.Predict()
+		if p.FB != nil && p.FB.Stale {
+			r.metrics.stalePredictions.Add(1)
+		}
+		resp.Predictions = append(resp.Predictions, p)
+	}
+	return writeJSON(w, http.StatusOK, resp)
 }
 
 // handleVars serves an expvar-style JSON dump of the service counters and

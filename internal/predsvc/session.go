@@ -67,6 +67,13 @@ func newSession(path string, cfg Config) *Session {
 // Path returns the path name the session serves.
 func (s *Session) Path() string { return s.path }
 
+// Observations returns the lifetime observation count.
+func (s *Session) Observations() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.observations
+}
+
 // ValidObservation reports whether x is a usable throughput sample: finite
 // and strictly positive. NaN, ±Inf and non-positive values would poison
 // predictor state, error windows and snapshots if absorbed.

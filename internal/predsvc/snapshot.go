@@ -138,8 +138,13 @@ func WriteSnapshotFile(path string, snap *Snapshot) error {
 	return writeFileAtomic(path, data)
 }
 
-// writeFileAtomic writes data via a temp file + rename in the destination
-// directory, so readers never observe a half-written snapshot.
+// writeFileAtomic writes data via a temp file in the destination
+// directory, fsyncs it, and atomically renames it over path, then syncs
+// the directory — so readers never observe a half-written snapshot and a
+// crash right after the rename cannot leave the directory entry pointing
+// at unflushed data. A failure at any step leaves the previous snapshot
+// untouched (the checksum trailer is the last line of defense, not the
+// first).
 func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".predsvc-snap-*")
@@ -151,10 +156,30 @@ func writeFileAtomic(path string, data []byte) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+// Filesystems that refuse to sync directories (some network mounts) are
+// tolerated: the rename itself was still atomic.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
 }
 
 // ReadSnapshotFile loads and verifies a snapshot written by

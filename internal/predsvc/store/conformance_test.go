@@ -1,0 +1,408 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// toyEntry is the payload-independent entry the conformance suite runs
+// with: a path name plus a self-locked value history, mirroring the shape
+// (but none of the weight) of a predictor session.
+type toyEntry struct {
+	mu   sync.Mutex
+	path string
+	vals []float64
+}
+
+func newToy(path string) Entry { return &toyEntry{path: path} }
+
+func (t *toyEntry) Path() string { return t.path }
+
+func (t *toyEntry) add(v float64) {
+	t.mu.Lock()
+	t.vals = append(t.vals, v)
+	t.mu.Unlock()
+}
+
+func (t *toyEntry) sum() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var s float64
+	for _, v := range t.vals {
+		s += v
+	}
+	return s
+}
+
+func toyCodec() Codec {
+	return Codec{
+		Encode: func(e Entry) ([]byte, error) {
+			t := e.(*toyEntry)
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return json.Marshal(t.vals)
+		},
+		Decode: func(path string, data []byte) (Entry, error) {
+			t := &toyEntry{path: path}
+			if err := json.Unmarshal(data, &t.vals); err != nil {
+				return nil, err
+			}
+			return t, nil
+		},
+	}
+}
+
+// factory builds one Store implementation for the shared suite.
+// retainsEvicted says whether hot-tier eviction loses the entry (MemStore)
+// or demotes it to a cold tier it can come back from (SpillStore).
+type factory struct {
+	name           string
+	retainsEvicted bool
+	open           func(t *testing.T, mem MemConfig) Store
+}
+
+func factories() []factory {
+	return []factory{
+		{
+			name:           "mem",
+			retainsEvicted: false,
+			open: func(t *testing.T, mem MemConfig) Store {
+				return NewMem(mem)
+			},
+		},
+		{
+			name:           "spill",
+			retainsEvicted: true,
+			open: func(t *testing.T, mem MemConfig) Store {
+				s, err := OpenSpill(SpillConfig{Mem: mem, Dir: t.TempDir(), Codec: toyCodec()})
+				if err != nil {
+					t.Fatalf("OpenSpill: %v", err)
+				}
+				return s
+			},
+		},
+	}
+}
+
+// TestStoreConformance runs the full contract against every Store
+// implementation through one shared harness: a behavior added here is a
+// behavior every present and future store must honor.
+func TestStoreConformance(t *testing.T) {
+	for _, f := range factories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			t.Run("CreateLookupPeek", func(t *testing.T) { testCreateLookupPeek(t, f) })
+			t.Run("Eviction", func(t *testing.T) { testEviction(t, f) })
+			t.Run("RecencyProtects", func(t *testing.T) { testRecencyProtects(t, f) })
+			t.Run("Range", func(t *testing.T) { testRange(t, f) })
+			t.Run("Recent", func(t *testing.T) { testRecent(t, f) })
+			t.Run("SnapshotRoundTrip", func(t *testing.T) { testSnapshotRoundTrip(t, f) })
+			t.Run("Hammer", func(t *testing.T) { testHammer(t, f) })
+		})
+	}
+}
+
+func testCreateLookupPeek(t *testing.T, f factory) {
+	st := f.open(t, MemConfig{Shards: 4, Capacity: 64, New: newToy})
+	defer st.Close()
+
+	if _, ok := st.Lookup("a"); ok {
+		t.Fatal("Lookup on empty store reported a hit")
+	}
+	if _, ok := st.Peek("a"); ok {
+		t.Fatal("Peek on empty store reported a hit")
+	}
+	e := st.GetOrCreate("a")
+	if e.Path() != "a" {
+		t.Fatalf("created entry path %q, want a", e.Path())
+	}
+	if again := st.GetOrCreate("a"); again != e {
+		t.Fatal("second GetOrCreate returned a different entry")
+	}
+	got, ok := st.Lookup("a")
+	if !ok || got != e {
+		t.Fatalf("Lookup(a) = %v, %v; want the created entry", got, ok)
+	}
+	if got, ok := st.Peek("a"); !ok || got.Path() != "a" {
+		t.Fatalf("Peek(a) = %v, %v", got, ok)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", st.Len())
+	}
+	if st.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", st.Shards())
+	}
+	if st.Capacity() != 64 {
+		t.Fatalf("Capacity = %d, want 64", st.Capacity())
+	}
+}
+
+func testEviction(t *testing.T, f factory) {
+	st := f.open(t, MemConfig{Shards: 1, Capacity: 3, New: newToy})
+	defer st.Close()
+
+	for _, p := range []string{"a", "b", "c", "d"} {
+		st.GetOrCreate(p)
+	}
+	if got := st.Evictions(); got != 1 {
+		t.Fatalf("Evictions = %d, want 1", got)
+	}
+	stats := st.Stats()
+	if stats.HotPaths != 3 {
+		t.Fatalf("HotPaths = %d, want 3", stats.HotPaths)
+	}
+	_, ok := st.Lookup("a")
+	if f.retainsEvicted {
+		if !ok {
+			t.Fatal("evicted entry lost by a retaining store")
+		}
+		if st.Len() != 4 {
+			t.Fatalf("Len = %d, want 4 across tiers", st.Len())
+		}
+	} else {
+		if ok {
+			t.Fatal("evicted entry still reachable in a non-retaining store")
+		}
+		if st.Len() != 3 {
+			t.Fatalf("Len = %d, want 3", st.Len())
+		}
+	}
+}
+
+func testRecencyProtects(t *testing.T, f factory) {
+	st := f.open(t, MemConfig{Shards: 1, Capacity: 3, New: newToy})
+	defer st.Close()
+
+	st.GetOrCreate("a")
+	st.GetOrCreate("b")
+	st.GetOrCreate("c")
+	// Touch a: b becomes the LRU victim of the next insert.
+	if _, ok := st.Lookup("a"); !ok {
+		t.Fatal("Lookup(a) missed")
+	}
+	st.GetOrCreate("d")
+	hot := make(map[string]bool)
+	for _, e := range st.Recent(10) {
+		hot[e.Path()] = true
+	}
+	if !hot["a"] || hot["b"] {
+		t.Fatalf("hot set after touch-then-insert = %v, want a protected and b evicted", hot)
+	}
+	// Peek must NOT protect: peeking c then inserting evicts c anyway… only
+	// when c is the LRU. Rebuild the scenario to pin it down.
+	st2 := f.open(t, MemConfig{Shards: 1, Capacity: 2, New: newToy})
+	defer st2.Close()
+	st2.GetOrCreate("x")
+	st2.GetOrCreate("y")
+	st2.Peek("x") // no recency touch
+	st2.GetOrCreate("z")
+	hot2 := make(map[string]bool)
+	for _, e := range st2.Recent(10) {
+		hot2[e.Path()] = true
+	}
+	if hot2["x"] {
+		t.Fatal("Peek protected x from eviction; it must not touch recency")
+	}
+}
+
+func testRange(t *testing.T, f factory) {
+	st := f.open(t, MemConfig{Shards: 2, Capacity: 4, New: newToy})
+	defer st.Close()
+
+	want := map[string]bool{}
+	for i := 0; i < 8; i++ { // half spill (or vanish) past capacity 4
+		p := fmt.Sprintf("p%02d", i)
+		st.GetOrCreate(p)
+		want[p] = true
+	}
+	seen := map[string]int{}
+	st.Range(func(e Entry) bool {
+		seen[e.Path()]++
+		return true
+	})
+	expect := st.Len()
+	if len(seen) != expect {
+		t.Fatalf("Range visited %d distinct paths, store holds %d", len(seen), expect)
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Fatalf("Range visited %s %d times", p, n)
+		}
+		if !want[p] {
+			t.Fatalf("Range visited unknown path %s", p)
+		}
+	}
+	// Early stop.
+	calls := 0
+	st.Range(func(Entry) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("Range after fn()=false made %d calls, want 1", calls)
+	}
+	// Paths agrees with Range.
+	paths := st.Paths()
+	if len(paths) != expect {
+		t.Fatalf("Paths returned %d names, want %d", len(paths), expect)
+	}
+	for _, p := range paths {
+		if seen[p] != 1 {
+			t.Fatalf("Paths returned %s which Range did not visit", p)
+		}
+	}
+}
+
+func testRecent(t *testing.T, f factory) {
+	st := f.open(t, MemConfig{Shards: 4, Capacity: 64, New: newToy})
+	defer st.Close()
+
+	for i := 0; i < 10; i++ {
+		st.GetOrCreate(fmt.Sprintf("p%d", i))
+	}
+	// Touch three in a known order; they must lead Recent, newest first.
+	st.Lookup("p2")
+	st.Lookup("p7")
+	st.Lookup("p4")
+	recent := st.Recent(3)
+	if len(recent) != 3 {
+		t.Fatalf("Recent(3) returned %d entries", len(recent))
+	}
+	got := []string{recent[0].Path(), recent[1].Path(), recent[2].Path()}
+	want := []string{"p4", "p7", "p2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Recent order = %v, want %v", got, want)
+		}
+	}
+	if n := len(st.Recent(100)); n != 10 {
+		t.Fatalf("Recent(100) returned %d entries, want all 10", n)
+	}
+	if st.Recent(0) != nil {
+		t.Fatal("Recent(0) must return nil")
+	}
+}
+
+// testSnapshotRoundTrip proves the snapshot contract end to end through
+// the store interface alone: Range + Codec.Encode captures every entry,
+// and replaying into a fresh store rebuilds identical values — exactly how
+// predsvc snapshots a registry over any Store.
+func testSnapshotRoundTrip(t *testing.T, f factory) {
+	codec := toyCodec()
+	st := f.open(t, MemConfig{Shards: 2, Capacity: 4, New: newToy})
+	defer st.Close()
+
+	wantSum := map[string]float64{}
+	for i := 0; i < 8; i++ {
+		p := fmt.Sprintf("p%02d", i)
+		e := st.GetOrCreate(p).(*toyEntry)
+		for j := 0; j <= i; j++ {
+			e.add(float64(j + 1))
+		}
+		if f.retainsEvicted {
+			wantSum[p] = e.sum()
+		}
+	}
+	if !f.retainsEvicted {
+		// Only surviving entries round-trip for a lossy store.
+		st.Range(func(e Entry) bool {
+			wantSum[e.Path()] = e.(*toyEntry).sum()
+			return true
+		})
+	}
+
+	type rec struct {
+		path string
+		data []byte
+	}
+	var dump []rec
+	st.Range(func(e Entry) bool {
+		data, err := codec.Encode(e)
+		if err != nil {
+			t.Fatalf("Encode(%s): %v", e.Path(), err)
+		}
+		dump = append(dump, rec{e.Path(), data})
+		return true
+	})
+	if len(dump) != len(wantSum) {
+		t.Fatalf("snapshot captured %d entries, want %d", len(dump), len(wantSum))
+	}
+
+	fresh := f.open(t, MemConfig{Shards: 2, Capacity: 16, New: newToy})
+	defer fresh.Close()
+	for _, r := range dump {
+		e, err := codec.Decode(r.path, r.data)
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", r.path, err)
+		}
+		dst := fresh.GetOrCreate(r.path).(*toyEntry)
+		for _, v := range e.(*toyEntry).vals {
+			dst.add(v)
+		}
+	}
+	for p, want := range wantSum {
+		e, ok := fresh.Peek(p)
+		if !ok {
+			t.Fatalf("restored store missing %s", p)
+		}
+		if got := e.(*toyEntry).sum(); got != want {
+			t.Fatalf("restored %s sum = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// testHammer runs 16 goroutines of mixed traffic under -race: the store
+// must stay consistent (no lost paths among those under capacity, Len
+// agreeing with Paths) with zero data races.
+func testHammer(t *testing.T, f factory) {
+	st := f.open(t, MemConfig{Shards: 4, Capacity: 32, New: newToy})
+	defer st.Close()
+
+	const goroutines = 16
+	const opsPer = 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				p := fmt.Sprintf("path-%d", (g*7+i)%64)
+				switch i % 5 {
+				case 0, 1:
+					st.GetOrCreate(p).(*toyEntry).add(1)
+				case 2:
+					if e, ok := st.Lookup(p); ok {
+						e.(*toyEntry).add(1)
+					}
+				case 3:
+					if e, ok := st.Peek(p); ok {
+						_ = e.(*toyEntry).sum()
+					}
+				case 4:
+					switch i % 3 {
+					case 0:
+						st.Range(func(e Entry) bool { return e.Path() != p })
+					case 1:
+						st.Recent(8)
+					default:
+						st.Stats()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got, want := st.Len(), len(st.Paths()); got != want {
+		t.Fatalf("Len = %d but Paths lists %d", got, want)
+	}
+	if f.retainsEvicted {
+		if st.Len() != 64 {
+			t.Fatalf("retaining store Len = %d, want all 64 paths", st.Len())
+		}
+	} else if st.Len() > 32 {
+		t.Fatalf("Len = %d exceeds capacity 32", st.Len())
+	}
+	if hot := st.Stats().HotPaths; hot > 32 {
+		t.Fatalf("HotPaths = %d exceeds capacity 32", hot)
+	}
+}

@@ -1,0 +1,262 @@
+package store
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MemConfig tunes a MemStore.
+type MemConfig struct {
+	// Shards is the number of shards, rounded up to a power of two
+	// (default 16). More shards reduce lock contention.
+	Shards int
+	// Capacity is the maximum number of entries kept store-wide; the
+	// least-recently-used entry of a full shard is evicted to admit a new
+	// one. Enforced per shard as Capacity/Shards (default 4096, min 1 per
+	// shard).
+	Capacity int
+	// New builds a fresh entry for a path on first access. Required.
+	New func(path string) Entry
+	// OnEvict, when non-nil, is called with every evicted entry — the
+	// evict-notify hook SpillStore builds its disk tier on. It runs with
+	// the victim's shard lock held and must not call back into the store.
+	OnEvict func(Entry)
+}
+
+func (c MemConfig) withDefaults() MemConfig {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	c.Shards = nextPow2(c.Shards)
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	return c
+}
+
+// MemStore is the sharded in-memory path → entry map: paths hash onto a
+// power-of-two number of shards, each guarded by its own RWMutex and
+// evicting its least-recently-used entry at capacity. Store locks are
+// held only for map/recency bookkeeping, never across entry state.
+type MemStore struct {
+	cfg       MemConfig
+	shards    []*shard
+	mask      uint64
+	touch     atomic.Uint64 // global recency clock, for Recent
+	evictions atomic.Uint64
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	capacity int
+	elems    map[string]*list.Element // path → element in lru
+	lru      *list.List               // front = most recently used
+}
+
+// memNode is the LRU payload: the entry plus its last-touch stamp on the
+// store-wide recency clock.
+type memNode struct {
+	e     Entry
+	touch uint64
+}
+
+// NewMem builds a MemStore from cfg. cfg.New must be set.
+func NewMem(cfg MemConfig) *MemStore {
+	cfg = cfg.withDefaults()
+	if cfg.New == nil {
+		panic("store: MemConfig.New is required")
+	}
+	perShard := cfg.Capacity / cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	m := &MemStore{cfg: cfg, mask: uint64(cfg.Shards - 1)}
+	m.shards = make([]*shard, cfg.Shards)
+	for i := range m.shards {
+		m.shards[i] = &shard{
+			capacity: perShard,
+			elems:    make(map[string]*list.Element),
+			lru:      list.New(),
+		}
+	}
+	return m
+}
+
+// Shards returns the shard count (a power of two).
+func (m *MemStore) Shards() int { return len(m.shards) }
+
+// Capacity returns the store-wide entry capacity actually enforced
+// (per-shard capacity × shard count).
+func (m *MemStore) Capacity() int { return m.shards[0].capacity * len(m.shards) }
+
+func (m *MemStore) shardFor(path string) *shard {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	return m.shards[h.Sum64()&m.mask]
+}
+
+// GetOrCreate returns the entry for path, creating it (and possibly
+// evicting the shard's least-recently-used entry) if absent. The returned
+// entry is marked most recently used.
+func (m *MemStore) GetOrCreate(path string) Entry {
+	sh := m.shardFor(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.elems[path]; ok {
+		sh.lru.MoveToFront(e)
+		n := e.Value.(*memNode)
+		n.touch = m.touch.Add(1)
+		return n.e
+	}
+	entry := m.cfg.New(path)
+	m.putLocked(sh, path, entry)
+	return entry
+}
+
+// put inserts (or replaces) path's entry as most recently used, evicting
+// as needed — how SpillStore promotes a faulted-in entry back to the hot
+// tier.
+func (m *MemStore) put(path string, e Entry) {
+	sh := m.shardFor(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.elems[path]; ok {
+		n := old.Value.(*memNode)
+		n.e = e
+		n.touch = m.touch.Add(1)
+		sh.lru.MoveToFront(old)
+		return
+	}
+	m.putLocked(sh, path, e)
+}
+
+func (m *MemStore) putLocked(sh *shard, path string, e Entry) {
+	for sh.lru.Len() >= sh.capacity {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		victim := oldest.Value.(*memNode).e
+		delete(sh.elems, victim.Path())
+		m.evictions.Add(1)
+		if m.cfg.OnEvict != nil {
+			m.cfg.OnEvict(victim)
+		}
+	}
+	sh.elems[path] = sh.lru.PushFront(&memNode{e: e, touch: m.touch.Add(1)})
+}
+
+// Lookup returns the entry for path if present, marking it most recently
+// used.
+func (m *MemStore) Lookup(path string) (Entry, bool) {
+	sh := m.shardFor(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.elems[path]
+	if !ok {
+		return nil, false
+	}
+	sh.lru.MoveToFront(e)
+	n := e.Value.(*memNode)
+	n.touch = m.touch.Add(1)
+	return n.e, true
+}
+
+// Peek returns the entry for path without touching recency (shared lock
+// only) — for stats and snapshots.
+func (m *MemStore) Peek(path string) (Entry, bool) {
+	sh := m.shardFor(path)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.elems[path]
+	if !ok {
+		return nil, false
+	}
+	return e.Value.(*memNode).e, true
+}
+
+// Len returns the number of stored entries.
+func (m *MemStore) Len() int {
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		n += len(sh.elems)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Evictions returns the number of LRU evictions since construction.
+func (m *MemStore) Evictions() uint64 { return m.evictions.Load() }
+
+// Paths returns all stored path names, in no particular order.
+func (m *MemStore) Paths() []string {
+	var out []string
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		for p := range sh.elems {
+			out = append(out, p)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Range visits every entry shard by shard, least recently used first
+// within each shard, without touching recency, stopping early when fn
+// returns false. fn runs outside the shard locks (entries self-lock), so
+// a slow visitor never blocks the serving path.
+func (m *MemStore) Range(fn func(Entry) bool) {
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		entries := make([]Entry, 0, sh.lru.Len())
+		for e := sh.lru.Back(); e != nil; e = e.Prev() {
+			entries = append(entries, e.Value.(*memNode).e)
+		}
+		sh.mu.RUnlock()
+		for _, e := range entries {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
+// Recent returns up to n entries, most recently used first across all
+// shards (merged on the store-wide recency clock).
+func (m *MemStore) Recent(n int) []Entry {
+	if n <= 0 {
+		return nil
+	}
+	type stamped struct {
+		e     Entry
+		touch uint64
+	}
+	var all []stamped
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		for e := sh.lru.Front(); e != nil; e = e.Next() {
+			nd := e.Value.(*memNode)
+			all = append(all, stamped{nd.e, nd.touch})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].touch > all[j].touch })
+	if len(all) > n {
+		all = all[:n]
+	}
+	out := make([]Entry, len(all))
+	for i, s := range all {
+		out[i] = s.e
+	}
+	return out
+}
+
+// Stats reports everything hot: a MemStore has no cold tier.
+func (m *MemStore) Stats() TierStats {
+	return TierStats{HotPaths: m.Len()}
+}
+
+// Close is a no-op: a MemStore holds no disk resources.
+func (m *MemStore) Close() error { return nil }

@@ -1,0 +1,393 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// SpillConfig tunes a SpillStore.
+type SpillConfig struct {
+	// Mem configures the hot tier. Mem.New is required. Mem.OnEvict, when
+	// set, is called after the victim has been spilled to disk.
+	Mem MemConfig
+	// Dir is the directory holding the spill log. Created if absent. The
+	// log is truncated on open: it is a cache extension, not a durability
+	// mechanism — snapshots remain the restart story.
+	Dir string
+	// Codec serializes entries across the hot/cold boundary. Required.
+	Codec Codec
+	// CompactMinBytes is the dead-byte threshold below which the log is
+	// never compacted (default 1 MiB). Compaction triggers when dead bytes
+	// exceed both this and the live bytes.
+	CompactMinBytes int64
+}
+
+// SpillStore is the two-tier implementation: a MemStore holds the hot
+// set, and evicted entries spill to an append-only log of checksummed
+// records, faulting back into the hot tier on access. The cold tier is
+// bounded only by disk: one node holds millions of cold paths while RSS
+// tracks the hot capacity plus a small per-cold-path index entry.
+//
+// A single mutex serializes every operation — the spill store trades the
+// MemStore's shard concurrency for capacity. The log is rewritten in
+// place (compacted) once dead records outweigh live ones.
+type SpillStore struct {
+	mu    sync.Mutex
+	hot   *MemStore
+	codec Codec
+	dir   string
+
+	f          *os.File
+	off        int64
+	cold       map[string]recordRef
+	liveBytes  int64
+	deadBytes  int64
+	compactMin int64
+
+	spills, faults, errs uint64
+}
+
+// recordRef locates one record in the spill log.
+type recordRef struct {
+	off     int64
+	pathLen int32
+	dataLen int32
+}
+
+func (r recordRef) size() int64 {
+	return recordHeaderLen + int64(r.pathLen) + int64(r.dataLen) + sha256.Size
+}
+
+// Record layout: 4-byte big-endian path length, 4-byte big-endian data
+// length, path bytes, data bytes, sha256 over path+data. The checksum
+// reuses the snapshot-trailer discipline: a torn or bit-flipped record is
+// detected on fault-in, never silently restored.
+const recordHeaderLen = 8
+
+// spillLogName is the log's file name inside SpillConfig.Dir.
+const spillLogName = "spill.log"
+
+// OpenSpill opens a SpillStore in cfg.Dir, truncating any previous log.
+func OpenSpill(cfg SpillConfig) (*SpillStore, error) {
+	if cfg.Mem.New == nil {
+		panic("store: SpillConfig.Mem.New is required")
+	}
+	if cfg.Codec.Encode == nil || cfg.Codec.Decode == nil {
+		panic("store: SpillConfig.Codec is required")
+	}
+	if cfg.CompactMinBytes <= 0 {
+		cfg.CompactMinBytes = 1 << 20
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: spill dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(cfg.Dir, spillLogName), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: spill log: %w", err)
+	}
+	s := &SpillStore{
+		codec:      cfg.Codec,
+		dir:        cfg.Dir,
+		f:          f,
+		cold:       make(map[string]recordRef),
+		compactMin: cfg.CompactMinBytes,
+	}
+	mem := cfg.Mem
+	userEvict := mem.OnEvict
+	mem.OnEvict = func(e Entry) {
+		s.spill(e)
+		if userEvict != nil {
+			userEvict(e)
+		}
+	}
+	s.hot = NewMem(mem)
+	return s, nil
+}
+
+// spill serializes a hot-tier victim into the log. Called with s.mu held
+// (every hot-tier mutation happens under it). An entry that fails to
+// encode is dropped and counted — eviction cannot be refused.
+func (s *SpillStore) spill(e Entry) {
+	path := e.Path()
+	data, err := s.codec.Encode(e)
+	if err != nil {
+		s.errs++
+		s.dropCold(path)
+		return
+	}
+	ref := recordRef{off: s.off, pathLen: int32(len(path)), dataLen: int32(len(data))}
+	buf := make([]byte, 0, ref.size())
+	var hdr [recordHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(ref.pathLen))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(ref.dataLen))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, path...)
+	buf = append(buf, data...)
+	sum := sha256.Sum256(buf[recordHeaderLen:])
+	buf = append(buf, sum[:]...)
+	if _, err := s.f.WriteAt(buf, s.off); err != nil {
+		s.errs++
+		s.dropCold(path)
+		return
+	}
+	s.off += ref.size()
+	s.dropCold(path) // a stale record for the same path becomes garbage
+	s.cold[path] = ref
+	s.liveBytes += ref.size()
+	s.spills++
+	s.maybeCompact()
+}
+
+// Interface conformance, checked at compile time.
+var (
+	_ Store = (*MemStore)(nil)
+	_ Store = (*SpillStore)(nil)
+)
+
+// dropCold forgets path's cold record, accounting its bytes as dead.
+func (s *SpillStore) dropCold(path string) {
+	if old, ok := s.cold[path]; ok {
+		delete(s.cold, path)
+		s.liveBytes -= old.size()
+		s.deadBytes += old.size()
+	}
+}
+
+// readRecord reads and verifies one record, returning the payload.
+func (s *SpillStore) readRecord(path string, ref recordRef) ([]byte, error) {
+	buf := make([]byte, ref.size()-recordHeaderLen)
+	if _, err := s.f.ReadAt(buf, ref.off+recordHeaderLen); err != nil {
+		return nil, err
+	}
+	body := buf[:int(ref.pathLen)+int(ref.dataLen)]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], buf[len(body):]) {
+		return nil, fmt.Errorf("store: spill record for %q: sha256 mismatch", path)
+	}
+	if string(body[:ref.pathLen]) != path {
+		return nil, fmt.Errorf("store: spill record for %q: path mismatch", path)
+	}
+	return body[ref.pathLen:], nil
+}
+
+// faultIn decodes path's cold record. promote removes it from the cold
+// index (the caller inserts it into the hot tier); a transient read keeps
+// the record. Any read/verify/decode failure drops the record and counts
+// an error — the entry's state is lost, not silently corrupted.
+func (s *SpillStore) faultIn(path string, ref recordRef, promote bool) (Entry, bool) {
+	data, err := s.readRecord(path, ref)
+	if err == nil {
+		var e Entry
+		if e, err = s.codec.Decode(path, data); err == nil {
+			s.faults++
+			if promote {
+				s.dropCold(path)
+				s.maybeCompact()
+			}
+			return e, true
+		}
+	}
+	s.errs++
+	s.dropCold(path)
+	s.maybeCompact()
+	return nil, false
+}
+
+// GetOrCreate returns the entry for path: hot hit, cold fault-in
+// (promoting it back to the hot tier, possibly spilling another entry),
+// or a fresh entry.
+func (s *SpillStore) GetOrCreate(path string) Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.hot.Lookup(path); ok {
+		return e
+	}
+	if ref, ok := s.cold[path]; ok {
+		if e, ok := s.faultIn(path, ref, true); ok {
+			s.hot.put(path, e)
+			return e
+		}
+	}
+	return s.hot.GetOrCreate(path)
+}
+
+// Lookup returns the entry for path if present in either tier, promoting
+// a cold entry back to the hot tier.
+func (s *SpillStore) Lookup(path string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.hot.Lookup(path); ok {
+		return e, true
+	}
+	if ref, ok := s.cold[path]; ok {
+		if e, ok := s.faultIn(path, ref, true); ok {
+			s.hot.put(path, e)
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Peek returns the entry for path without touching recency. A cold entry
+// comes back as a transient decoded copy: reads are accurate, mutations
+// are lost — for stats and snapshots only.
+func (s *SpillStore) Peek(path string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.hot.Peek(path); ok {
+		return e, true
+	}
+	if ref, ok := s.cold[path]; ok {
+		return s.faultIn(path, ref, false)
+	}
+	return nil, false
+}
+
+// Len returns the number of entries across both tiers.
+func (s *SpillStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hot.Len() + len(s.cold)
+}
+
+// Capacity returns the hot-tier bound; the cold tier is bounded only by
+// disk.
+func (s *SpillStore) Capacity() int { return s.hot.Capacity() }
+
+// Shards returns the hot tier's shard count.
+func (s *SpillStore) Shards() int { return s.hot.Shards() }
+
+// Evictions returns how many entries the hot tier has evicted — each one
+// a spill, not a loss.
+func (s *SpillStore) Evictions() uint64 { return s.hot.Evictions() }
+
+// Range visits the cold tier first (sorted by path, decoded transiently)
+// and then the hot tier, least recently used first per shard — so a
+// snapshot restored in Range order rebuilds the hot set as the most
+// recent entries. fn must not call back into the store.
+func (s *SpillStore) Range(fn func(Entry) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	coldPaths := make([]string, 0, len(s.cold))
+	for p := range s.cold {
+		coldPaths = append(coldPaths, p)
+	}
+	sort.Strings(coldPaths)
+	for _, p := range coldPaths {
+		data, err := s.readRecord(p, s.cold[p])
+		if err != nil {
+			s.errs++
+			continue
+		}
+		e, err := s.codec.Decode(p, data)
+		if err != nil {
+			s.errs++
+			continue
+		}
+		if !fn(e) {
+			return
+		}
+	}
+	cont := true
+	s.hot.Range(func(e Entry) bool {
+		cont = fn(e)
+		return cont
+	})
+}
+
+// Recent returns up to n hot-tier entries, most recently used first.
+func (s *SpillStore) Recent(n int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hot.Recent(n)
+}
+
+// Paths returns every stored path name across both tiers.
+func (s *SpillStore) Paths() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.hot.Paths()
+	for p := range s.cold {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Stats reports both tiers' occupancy and the log activity counters.
+func (s *SpillStore) Stats() TierStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return TierStats{
+		HotPaths:  s.hot.Len(),
+		ColdPaths: len(s.cold),
+		Spills:    s.spills,
+		Faults:    s.faults,
+		Errors:    s.errs,
+	}
+}
+
+// maybeCompact rewrites the log without its dead records once they
+// outweigh the live ones (and exceed the configured floor) — re-spilled
+// and promoted paths leave garbage behind that would otherwise grow the
+// append-only log forever.
+func (s *SpillStore) maybeCompact() {
+	if s.deadBytes < s.compactMin || s.deadBytes <= s.liveBytes {
+		return
+	}
+	tmpName := filepath.Join(s.dir, spillLogName+".compact")
+	nf, err := os.OpenFile(tmpName, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return // keep serving from the bloated log
+	}
+	newCold := make(map[string]recordRef, len(s.cold))
+	var off, live int64
+	ok := true
+	for path, ref := range s.cold {
+		rec := make([]byte, ref.size())
+		if _, err := s.f.ReadAt(rec, ref.off); err != nil {
+			s.errs++
+			continue
+		}
+		sum := sha256.Sum256(rec[recordHeaderLen : recordHeaderLen+int(ref.pathLen)+int(ref.dataLen)])
+		if !bytes.Equal(sum[:], rec[len(rec)-sha256.Size:]) {
+			s.errs++
+			continue
+		}
+		if _, err := nf.WriteAt(rec, off); err != nil {
+			ok = false
+			break
+		}
+		newCold[path] = recordRef{off: off, pathLen: ref.pathLen, dataLen: ref.dataLen}
+		off += ref.size()
+		live += ref.size()
+	}
+	if !ok {
+		nf.Close()
+		os.Remove(tmpName)
+		return
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, spillLogName)); err != nil {
+		nf.Close()
+		os.Remove(tmpName)
+		return
+	}
+	s.f.Close()
+	s.f = nf
+	s.off = off
+	s.cold = newCold
+	s.liveBytes = live
+	s.deadBytes = 0
+}
+
+// Close closes the spill log. The store must not be used after.
+func (s *SpillStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -1,0 +1,187 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openSpillT(t *testing.T, mem MemConfig, compactMin int64) (*SpillStore, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := OpenSpill(SpillConfig{Mem: mem, Dir: dir, Codec: toyCodec(), CompactMinBytes: compactMin})
+	if err != nil {
+		t.Fatalf("OpenSpill: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, dir
+}
+
+// TestSpillHoldsManyPathsBoundedHot is the capacity claim behind the
+// two-tier design: 100k paths through a 256-entry hot tier, every one of
+// them still reachable, with the resident hot set never exceeding its
+// bound — memory tracks the hot capacity, not the path count.
+func TestSpillHoldsManyPathsBoundedHot(t *testing.T) {
+	const paths = 100_000
+	const hotCap = 256
+	s, _ := openSpillT(t, MemConfig{Shards: 4, Capacity: hotCap, New: newToy}, 0)
+
+	for i := 0; i < paths; i++ {
+		e := s.GetOrCreate(fmt.Sprintf("path-%06d", i)).(*toyEntry)
+		e.add(float64(i))
+	}
+	if got := s.Len(); got != paths {
+		t.Fatalf("Len = %d, want %d", got, paths)
+	}
+	st := s.Stats()
+	if st.HotPaths > hotCap {
+		t.Fatalf("HotPaths = %d exceeds hot capacity %d", st.HotPaths, hotCap)
+	}
+	if st.ColdPaths < paths-hotCap {
+		t.Fatalf("ColdPaths = %d, want ≥ %d", st.ColdPaths, paths-hotCap)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0", st.Errors)
+	}
+	// Old cold paths fault back with their state intact.
+	for _, i := range []int{0, 1, 137, 5_000, 50_000, paths - 1} {
+		p := fmt.Sprintf("path-%06d", i)
+		e, ok := s.Lookup(p)
+		if !ok {
+			t.Fatalf("Lookup(%s) missed", p)
+		}
+		if got := e.(*toyEntry).sum(); got != float64(i) {
+			t.Fatalf("%s faulted back with sum %v, want %v", p, got, float64(i))
+		}
+	}
+	if s.Stats().Faults == 0 {
+		t.Fatal("no faults counted despite cold lookups")
+	}
+}
+
+// TestSpillFaultPreservesState: evict → fault-in must round-trip the
+// entry's state through the codec.
+func TestSpillFaultPreservesState(t *testing.T) {
+	s, _ := openSpillT(t, MemConfig{Shards: 1, Capacity: 1, New: newToy}, 0)
+
+	a := s.GetOrCreate("a").(*toyEntry)
+	a.add(3)
+	a.add(4)
+	s.GetOrCreate("b") // evicts + spills a
+	if st := s.Stats(); st.Spills != 1 || st.ColdPaths != 1 {
+		t.Fatalf("after eviction: %+v, want 1 spill / 1 cold", st)
+	}
+	back, ok := s.Lookup("a")
+	if !ok {
+		t.Fatal("cold entry not found")
+	}
+	if got := back.(*toyEntry).sum(); got != 7 {
+		t.Fatalf("faulted-in sum = %v, want 7", got)
+	}
+	if st := s.Stats(); st.Faults != 1 {
+		t.Fatalf("Faults = %d, want 1", st.Faults)
+	}
+	// The promotion evicted b; a is hot again and must not re-fault.
+	if _, ok := s.Lookup("a"); !ok {
+		t.Fatal("promoted entry lost")
+	}
+	if st := s.Stats(); st.Faults != 1 {
+		t.Fatalf("hot lookup faulted: Faults = %d, want still 1", st.Faults)
+	}
+}
+
+// TestSpillCorruptRecordDropped: a bit-flipped record must fail its
+// sha256, be dropped with an error counted, and never be served as data.
+func TestSpillCorruptRecordDropped(t *testing.T) {
+	s, dir := openSpillT(t, MemConfig{Shards: 1, Capacity: 1, New: newToy}, 0)
+
+	a := s.GetOrCreate("aa").(*toyEntry)
+	a.add(42)
+	s.GetOrCreate("bb") // spills aa at offset 0
+
+	// Flip a byte inside the record payload (past the 8-byte header).
+	log := filepath.Join(dir, spillLogName)
+	data, err := os.ReadFile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recordHeaderLen+1] ^= 0xff
+	if err := os.WriteFile(log, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Lookup("aa"); ok {
+		t.Fatal("corrupt record served as a live entry")
+	}
+	if st := s.Stats(); st.Errors != 1 || st.ColdPaths != 0 {
+		t.Fatalf("after corrupt fault-in: %+v, want 1 error / 0 cold", st)
+	}
+	// The path starts over fresh rather than carrying garbage.
+	if got := s.GetOrCreate("aa").(*toyEntry).sum(); got != 0 {
+		t.Fatalf("recreated entry sum = %v, want 0 (fresh)", got)
+	}
+}
+
+// TestSpillCompaction: promotions leave dead records behind; once they
+// outweigh live ones the log must be rewritten, shrinking the file while
+// preserving every cold entry.
+func TestSpillCompaction(t *testing.T) {
+	s, _ := openSpillT(t, MemConfig{Shards: 1, Capacity: 1, New: newToy}, 1)
+
+	// A large record for a (spilled, then promoted → dead), a small one
+	// for b: dead > live and past the 1-byte floor triggers compaction.
+	a := s.GetOrCreate("a").(*toyEntry)
+	for i := 0; i < 64; i++ {
+		a.add(float64(i))
+	}
+	s.GetOrCreate("b") // spills big a
+	if s.deadBytes != 0 {
+		t.Fatalf("deadBytes = %d before any promotion", s.deadBytes)
+	}
+	if _, ok := s.Lookup("a"); !ok { // promotes a (dead bytes), spills b
+		t.Fatal("Lookup(a) missed")
+	}
+	s.mu.Lock()
+	dead, live, off := s.deadBytes, s.liveBytes, s.off
+	s.mu.Unlock()
+	if dead != 0 {
+		t.Fatalf("compaction did not run: deadBytes = %d", dead)
+	}
+	if off != live {
+		t.Fatalf("compacted log offset %d != live bytes %d", off, live)
+	}
+	// b survived compaction with its record intact.
+	if _, ok := s.Lookup("b"); !ok {
+		t.Fatal("b lost in compaction")
+	}
+	if st := s.Stats(); st.Errors != 0 {
+		t.Fatalf("Errors = %d after compaction", st.Errors)
+	}
+}
+
+// TestOpenSpillTruncates: the spill log is a cache extension, not a
+// durability mechanism — whatever a previous process left behind is
+// discarded on open.
+func TestOpenSpillTruncates(t *testing.T) {
+	dir := t.TempDir()
+	log := filepath.Join(dir, spillLogName)
+	if err := os.WriteFile(log, []byte("stale garbage from a previous run"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenSpill(SpillConfig{Mem: MemConfig{New: newToy}, Dir: dir, Codec: toyCodec()})
+	if err != nil {
+		t.Fatalf("OpenSpill over a stale log: %v", err)
+	}
+	defer s.Close()
+	fi, err := os.Stat(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("stale log not truncated: %d bytes", fi.Size())
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d on a fresh store", s.Len())
+	}
+}

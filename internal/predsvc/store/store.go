@@ -1,0 +1,98 @@
+// Package store is the session-storage seam of the prediction service:
+// a Store interface over "path → entry" maps with LRU recency semantics,
+// plus the two implementations the service ships with — the sharded
+// in-memory MemStore (the original registry core) and the two-tier
+// SpillStore that evicts cold entries to an append-only checksummed disk
+// log and faults them back in on access.
+//
+// The package is deliberately ignorant of predictor sessions: entries are
+// anything with a path name, and the disk tier serializes them through a
+// caller-supplied Codec. internal/predsvc wires its *Session in; the
+// conformance suite (conformance_test.go) runs against a toy entry type,
+// proving the contract is implementation- and payload-independent.
+package store
+
+// Entry is one path's stored value. Implementations must be safe for
+// concurrent use by their own locking — the store serializes only its own
+// map/recency bookkeeping, never entry state.
+type Entry interface {
+	// Path returns the path name the entry is stored under.
+	Path() string
+}
+
+// Codec serializes entries for the disk tier. Encode must capture enough
+// state for Decode to rebuild a usable entry; the round trip may be
+// approximate (predsvc sessions document exactly how), but must be
+// deterministic.
+type Codec struct {
+	Encode func(Entry) ([]byte, error)
+	Decode func(path string, data []byte) (Entry, error)
+}
+
+// TierStats reports a store's tier occupancy and disk-tier activity.
+// MemStore reports everything hot; SpillStore splits hot/cold and counts
+// spills (evictions serialized to the log) and faults (log reads that
+// rebuilt an entry).
+type TierStats struct {
+	// HotPaths is the number of entries resident in memory.
+	HotPaths int `json:"hot_paths"`
+	// ColdPaths is the number of entries resident only in the spill log.
+	ColdPaths int `json:"cold_paths"`
+	// Spills counts entries written to the spill log on eviction.
+	Spills uint64 `json:"spills"`
+	// Faults counts spill-log reads that rebuilt an entry (promotions and
+	// transient peeks).
+	Faults uint64 `json:"faults"`
+	// Errors counts spill records that failed their checksum or codec on
+	// either side — the entry's state was dropped and recreated fresh.
+	Errors uint64 `json:"errors,omitempty"`
+}
+
+// Store is the session-storage contract the prediction service builds on.
+// All methods are goroutine-safe. Recency: GetOrCreate and Lookup mark
+// the entry most recently used; Peek and Range never touch recency.
+type Store interface {
+	// GetOrCreate returns the entry for path, creating it (possibly
+	// evicting another) when absent anywhere in the store.
+	GetOrCreate(path string) Entry
+	// Lookup returns the entry for path if present, marking it most
+	// recently used. A SpillStore promotes a cold entry back to the hot
+	// tier here.
+	Lookup(path string) (Entry, bool)
+	// Peek returns the entry for path without touching recency — for
+	// stats and snapshots. A SpillStore serves cold entries as transient
+	// decoded copies: reads are accurate, mutations are lost.
+	Peek(path string) (Entry, bool)
+	// Len returns the number of stored entries across all tiers.
+	Len() int
+	// Capacity returns the enforced hot-tier entry bound.
+	Capacity() int
+	// Shards returns the hot tier's shard count (a power of two).
+	Shards() int
+	// Evictions returns how many entries the hot tier has evicted. For a
+	// MemStore an eviction loses the entry; for a SpillStore it spills it.
+	Evictions() uint64
+	// Range visits every entry, coldest first (cold tier in sorted path
+	// order, then each hot shard least recently used first), stopping
+	// early when fn returns false. fn must not call back into the store.
+	Range(fn func(Entry) bool)
+	// Recent returns up to n hot-tier entries, most recently used first.
+	// Cold entries are by construction older than every hot entry and are
+	// not listed.
+	Recent(n int) []Entry
+	// Paths returns every stored path name, in no particular order.
+	Paths() []string
+	// Stats reports tier occupancy and disk activity.
+	Stats() TierStats
+	// Close releases disk resources. The store must not be used after.
+	Close() error
+}
+
+// nextPow2 returns the smallest power of two ≥ n (n ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

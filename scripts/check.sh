@@ -35,6 +35,19 @@ go test -race -short -run 'TestEndToEnd' -count=1 ./internal/predsvc
 echo "==> prediction-service chaos gate"
 go test -race -short -run 'TestEndToEndChaos|TestCorruptSnapshotQuarantine' -count=1 ./internal/predsvc
 
+# Storage/cluster gates: the store conformance suite against every Store
+# implementation, and the in-process cluster digest test (scripts/cluster.sh
+# is the real-binaries version of the latter).
+echo "==> store conformance + cluster digest gate"
+go test -race -short -run 'TestStoreConformance' -count=1 ./internal/predsvc/store
+go test -race -short -run 'TestClusterReplayDigest|TestSpillBackedServer' -count=1 ./internal/predsvc
+
+# The same property against the real binaries: 2 spill-backed predserverd
+# nodes behind predload -cluster -batch must reproduce the single-node
+# digest with disjoint per-node ownership.
+echo "==> 2-node cluster smoke gate (real binaries)"
+./scripts/cluster.sh
+
 # Coverage ratchet: the short suite's statement coverage may drift, but
 # never more than 2 points below the recorded baseline. When a PR raises
 # coverage meaningfully, raise COVER_BASELINE to match `go tool cover

@@ -1,0 +1,136 @@
+#!/bin/sh
+# cluster.sh — multi-node routing acceptance gate against the real binaries.
+#
+# Replays the same synthetic series twice:
+#
+#   1. against one predserverd with default capacity (the reference run),
+#   2. against a 2-node cluster via `predload -cluster -batch`, with each
+#      node squeezed to -capacity 16 and a -spill-dir so the two-tier
+#      store spills and faults sessions for real,
+#
+# and asserts:
+#
+#   a. the predict digests are identical — rendezvous routing, batched
+#      ingest and disk spilling must not change a single response byte,
+#   b. the cluster nodes hold disjoint path sets that together cover the
+#      series (each path lives on exactly one node, no node is idle),
+#   c. both nodes spilled to disk (the squeeze was real) and shut down
+#      cleanly on SIGTERM.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+P0="${CLUSTER_PORT:-18455}"
+P1=$((P0 + 1))
+P2=$((P0 + 2))
+SEED=7
+PATHS=40
+EPOCHS=40
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do
+        if kill -0 "$p" 2>/dev/null; then
+            kill "$p" 2>/dev/null || true
+            wait "$p" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building binaries"
+go build -o "$tmp/predserverd" ./cmd/predserverd
+go build -o "$tmp/predload" ./cmd/predload
+
+# wait_ready polls /v1/stats (read-only: must not pollute path state).
+wait_ready() {
+    i=0
+    while [ $i -lt 100 ]; do
+        if curl -fsS "http://$1/v1/stats" >/dev/null 2>&1; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "daemon on $1 never became ready" >&2
+    return 1
+}
+
+# stop_node <pid> <log> — SIGTERM and require the clean-shutdown marker.
+stop_node() {
+    kill -TERM "$1"
+    wait "$1" || { echo "daemon did not exit cleanly" >&2; cat "$2" >&2; exit 1; }
+    grep -q "shut down cleanly" "$2" || {
+        echo "daemon missing clean-shutdown marker" >&2
+        cat "$2" >&2
+        exit 1
+    }
+}
+
+digest_of() { grep -o 'digest sha256:[0-9a-f]*' "$1" | head -n1; }
+paths_of() { curl -fsS "http://$1/v1/stats?limit=0" | grep -o '"paths":[0-9]*' | head -n1 | cut -d: -f2; }
+
+echo "==> reference run (1 node, default store)"
+"$tmp/predserverd" -addr "127.0.0.1:$P0" >"$tmp/single.log" 2>&1 &
+single_pid=$!
+pids="$single_pid"
+wait_ready "127.0.0.1:$P0"
+"$tmp/predload" -addr "127.0.0.1:$P0" -seed "$SEED" -paths "$PATHS" -epochs "$EPOCHS" \
+    >"$tmp/single.out" 2>&1
+stop_node "$single_pid" "$tmp/single.log"
+pids=""
+
+echo "==> cluster run (2 nodes, spill-backed, batched ingest)"
+"$tmp/predserverd" -addr "127.0.0.1:$P1" -capacity 16 -spill-dir "$tmp/spill-a" \
+    >"$tmp/node-a.log" 2>&1 &
+a_pid=$!
+"$tmp/predserverd" -addr "127.0.0.1:$P2" -capacity 16 -spill-dir "$tmp/spill-b" \
+    >"$tmp/node-b.log" 2>&1 &
+b_pid=$!
+pids="$a_pid $b_pid"
+wait_ready "127.0.0.1:$P1"
+wait_ready "127.0.0.1:$P2"
+"$tmp/predload" -cluster "127.0.0.1:$P1,127.0.0.1:$P2" -batch \
+    -seed "$SEED" -paths "$PATHS" -epochs "$EPOCHS" >"$tmp/cluster.out" 2>&1
+
+# (b) disjoint coverage, read before shutdown while both nodes serve.
+paths_a=$(paths_of "127.0.0.1:$P1")
+paths_b=$(paths_of "127.0.0.1:$P2")
+echo "    node A holds $paths_a paths, node B holds $paths_b"
+if [ -z "$paths_a" ] || [ -z "$paths_b" ] || [ "$paths_a" -eq 0 ] || [ "$paths_b" -eq 0 ]; then
+    echo "FAIL: a cluster node received no paths — routing is degenerate" >&2
+    exit 1
+fi
+if [ $((paths_a + paths_b)) -ne "$PATHS" ]; then
+    echo "FAIL: nodes hold $((paths_a + paths_b)) paths together, series has $PATHS — ownership overlaps or leaks" >&2
+    exit 1
+fi
+
+# (c) the capacity squeeze really spilled: cold paths exist on both nodes.
+cold_a=$(curl -fsS "http://127.0.0.1:$P1/v1/stats?limit=0" | grep -o '"cold_paths":[0-9]*' | cut -d: -f2)
+cold_b=$(curl -fsS "http://127.0.0.1:$P2/v1/stats?limit=0" | grep -o '"cold_paths":[0-9]*' | cut -d: -f2)
+echo "    cold paths: node A $cold_a, node B $cold_b"
+if [ "${cold_a:-0}" -eq 0 ] || [ "${cold_b:-0}" -eq 0 ]; then
+    echo "FAIL: expected both nodes to spill past -capacity 16" >&2
+    exit 1
+fi
+
+stop_node "$a_pid" "$tmp/node-a.log"
+stop_node "$b_pid" "$tmp/node-b.log"
+pids=""
+
+# (a) digest equality across deployment shapes.
+single_digest=$(digest_of "$tmp/single.out")
+cluster_digest=$(digest_of "$tmp/cluster.out")
+[ -n "$single_digest" ] || { echo "no digest in reference output" >&2; cat "$tmp/single.out" >&2; exit 1; }
+echo "    1-node  $single_digest"
+echo "    2-node  $cluster_digest"
+if [ "$single_digest" != "$cluster_digest" ]; then
+    echo "FAIL: clustered run changed the predict digest" >&2
+    cat "$tmp/cluster.out" >&2
+    exit 1
+fi
+
+echo "OK: 2-node cluster reproduced the single-node digest with disjoint, spill-backed ownership"

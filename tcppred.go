@@ -35,6 +35,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/predsvc"
+	"repro/internal/predsvc/cluster"
+	"repro/internal/predsvc/store"
 	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/tcpmodel"
@@ -195,10 +197,32 @@ func NewObservability(spanCapacity int) *Observability { return obs.New(spanCapa
 // windows. The zero value picks the paper-informed defaults.
 type ServiceConfig = predsvc.Config
 
-// PathRegistry is the concurrent, sharded path → predictor-session map at
-// the heart of the serving layer: power-of-two shards, per-shard RWMutex,
-// LRU eviction at capacity.
+// PathRegistry is the path → predictor-session façade at the heart of the
+// serving layer, backed by a SessionStore — in-memory sharded LRU by
+// default, or a two-tier disk-spill store when ServiceConfig.SpillDir is
+// set.
 type PathRegistry = predsvc.Registry
+
+// SessionStore is the storage seam under the registry: any implementation
+// of the store.Store contract (get-or-create, lookup, LRU range,
+// evict-notify, tier stats). The package ships MemStore (power-of-two
+// sharded in-memory LRU) and SpillStore (hot tier + append-only checksummed
+// spill log with fault-back on access).
+type SessionStore = store.Store
+
+// StoreTierStats is one store's occupancy and traffic counters per tier;
+// exposed at /v1/stats and as predsvc_store_* Prometheus gauges.
+type StoreTierStats = store.TierStats
+
+// ClusterMap routes paths to nodes by rendezvous (highest-random-weight)
+// hashing: every client agrees on each path's owner without coordination,
+// and removing a node only remaps the paths it owned. cmd/predload's
+// -cluster flag uses it for client-side routing.
+type ClusterMap = cluster.Map
+
+// NewClusterMap builds a rendezvous-hash router over the given node names
+// (base URLs, host:ports — any stable identifiers).
+func NewClusterMap(nodes ...string) *ClusterMap { return cluster.New(nodes...) }
 
 // PredictorSession is the goroutine-safe per-path predictor state: the HB
 // ensemble (MA/EWMA/Holt-Winters, LSO-wrapped by default), the FB
