@@ -301,6 +301,67 @@ func BenchmarkHWLSOObserve(b *testing.B) {
 	}
 }
 
+// BenchmarkRegressionObserve measures one training step of the online
+// least-squares family — the decayed normal-equation update plus the
+// history-ring push — with fresh features installed per observation, the
+// serving layer's measure→observe hot path. Steady state must not
+// allocate: the normal equations and rings are fixed-size arrays.
+func BenchmarkRegressionObserve(b *testing.B) {
+	r := predict.NewRegression(predict.RegressionConfig{})
+	rng := sim.NewRNG(1)
+	vals := make([]float64, 4096)
+	ins := make([]predict.FBInputs, len(vals))
+	for i := range vals {
+		vals[i] = rng.Normal(5e6, 5e5)
+		ins[i] = predict.FBInputs{
+			RTT:      rng.Uniform(0.01, 0.2),
+			LossRate: rng.Uniform(0, 0.01),
+			AvailBw:  rng.Uniform(1e6, 50e6),
+		}
+	}
+	for i := 0; i < 256; i++ { // warm to steady state
+		r.SetFeatures(ins[i])
+		r.Observe(vals[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(vals)
+		r.SetFeatures(ins[j])
+		r.Observe(vals[j])
+	}
+}
+
+// BenchmarkECMObserve measures one training step of the empirical
+// conditional method — bucket lookup plus two bounded ring pushes — with
+// fresh conditions installed per observation. Steady state must not
+// allocate: every reachable bucket exists after warmup.
+func BenchmarkECMObserve(b *testing.B) {
+	e := predict.NewECM(predict.ECMConfig{})
+	rng := sim.NewRNG(2)
+	vals := make([]float64, 4096)
+	ins := make([]predict.FBInputs, len(vals))
+	for i := range vals {
+		vals[i] = rng.Normal(5e6, 5e5)
+		ins[i] = predict.FBInputs{
+			RTT:      rng.Uniform(0.01, 0.2),
+			LossRate: rng.Uniform(0, 0.01),
+			AvailBw:  rng.Uniform(1e6, 50e6),
+		}
+	}
+	for i := 0; i < len(vals); i++ { // warm: materialize every bucket
+		e.SetConditions(ins[i])
+		e.Observe(vals[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(vals)
+		e.SetConditions(ins[j])
+		e.Observe(vals[j])
+	}
+}
+
 // BenchmarkAvailBwEstimate measures one pathload-style estimation run.
 func BenchmarkAvailBwEstimate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -331,6 +392,7 @@ func BenchmarkExtNWSProbes(b *testing.B) {
 func BenchmarkExtStationarity(b *testing.B) {
 	benchFigure(b, experiments.ExtStationarity)
 }
+func BenchmarkExtZoo(b *testing.B) { benchFigure(b, experiments.ExtZoo) }
 
 func BenchmarkExtShortTransfers(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -69,6 +69,8 @@ func main() {
 		chaosMode = flag.Bool("chaos", false, "inject client-side faults (aborted predicts, slowloris probes, forced-panic probes); digest covers only the fault-free replay")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed for -chaos")
 
+		quantiles = flag.Bool("quantiles", false, "score the daemon's [p10,p90] interval forecasts against the actuals and report empirical coverage (nominal 0.8)")
+
 		bench = flag.Bool("bench", false, "after the replay, report per-endpoint service time (ns/observe etc.) from the daemon's /debug/vars latency histograms")
 	)
 	flag.Parse()
@@ -117,6 +119,7 @@ func main() {
 		Cluster:      nodes,
 		BatchObserve: *batchMode,
 		Workers:      *workers,
+		Quantiles:    *quantiles,
 	}
 	if len(nodes) > 0 {
 		log.Printf("predload: routing paths across %d nodes by rendezvous hash", len(nodes))

@@ -272,6 +272,6 @@ func ExtStationarity(ds *testbed.Dataset) Result {
 func Extensions(ds *testbed.Dataset) []Result {
 	return []Result{
 		ExtAR(ds), ExtHybrid(ds), ExtNWSProbes(ds), ExtStationarity(ds),
-		ExtShortTransfers(12345),
+		ExtShortTransfers(12345), ExtZoo(ds),
 	}
 }

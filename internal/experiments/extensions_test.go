@@ -9,8 +9,8 @@ import (
 func TestExtensionsProduceOutput(t *testing.T) {
 	ds := synthDataset()
 	results := Extensions(ds)
-	if len(results) != 5 {
-		t.Fatalf("extensions = %d, want 5", len(results))
+	if len(results) != 6 {
+		t.Fatalf("extensions = %d, want 6", len(results))
 	}
 	ids := map[string]bool{}
 	for _, r := range results {
@@ -19,7 +19,7 @@ func TestExtensionsProduceOutput(t *testing.T) {
 			t.Errorf("%s produced no table rows", r.ID)
 		}
 	}
-	for _, want := range []string{"ext-ar", "ext-hybrid", "ext-nws", "ext-stationarity", "ext-short-transfers"} {
+	for _, want := range []string{"ext-ar", "ext-hybrid", "ext-nws", "ext-stationarity", "ext-short-transfers", "ext-zoo"} {
 		if !ids[want] {
 			t.Errorf("missing extension %s", want)
 		}
@@ -94,6 +94,36 @@ func TestExtARRunsAllVariants(t *testing.T) {
 	res := ExtAR(synthDataset())
 	if !strings.Contains(res.Tables[0].Columns[3], "AR(1)") {
 		t.Errorf("columns = %v", res.Tables[0].Columns)
+	}
+}
+
+func TestExtZooTournament(t *testing.T) {
+	res := ExtZoo(synthDataset())
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2 (CDF + tournament)", len(res.Tables))
+	}
+	tour := res.Tables[1]
+	if len(tour.Rows) != 7 {
+		t.Fatalf("tournament rows = %d, want 7 families", len(tour.Rows))
+	}
+	// Every trace crowns exactly one winner: wins sum to the trace count.
+	wins := 0
+	for _, row := range tour.Rows {
+		w, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("wins column %q: %v", row[1], err)
+		}
+		wins += w
+		// Coverage, when reported, is a fraction.
+		if row[3] != "-" {
+			c, err := strconv.ParseFloat(row[3], 64)
+			if err != nil || c < 0 || c > 1 {
+				t.Errorf("%s coverage %q out of [0,1]", row[0], row[3])
+			}
+		}
+	}
+	if wins != 6 {
+		t.Errorf("total wins = %d, want 6 (one per synthetic trace)", wins)
 	}
 }
 

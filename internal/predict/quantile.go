@@ -1,0 +1,271 @@
+package predict
+
+import "math"
+
+// Quantiles is a three-point summary of a throughput forecast
+// distribution. P10 ≤ P50 ≤ P90 always holds; all values are positive
+// and finite when produced by this package.
+type Quantiles struct {
+	P10, P50, P90 float64
+}
+
+// QuantilePredictor is implemented by predictors that can emit a
+// forecast distribution rather than a single point. Point predictors
+// gain the interface through ResidualQuantile, which derives empirical
+// quantiles from the window of recent Eq.-4 relative errors; ECM
+// implements it natively from its conditional histograms.
+type QuantilePredictor interface {
+	// PredictQuantiles returns the P10/P50/P90 forecast for the next
+	// value and whether enough history exists to calibrate one.
+	PredictQuantiles() (Quantiles, bool)
+}
+
+// residualMinSamples is the minimum number of scored residuals before
+// empirical quantiles are considered calibrated. Below it the tails are
+// pure extrapolation from one or two errors.
+const residualMinSamples = 3
+
+// ResidualWindow keeps a bounded ring of recent Eq.-4 relative errors
+// E = (X̂-X)/min(X̂,X) for one predictor and converts a point forecast
+// into empirical throughput quantiles by inverting the error quantiles:
+//
+//	E ≥ 0 (overprediction):  X = X̂ / (1+E)
+//	E < 0 (underprediction): X = X̂ · (1-E)
+//
+// X is monotone decreasing in E, so the throughput P10 comes from the
+// error P90 and vice versa. Errors are clamped to ±clamp on entry, which
+// keeps every stored value finite and JSON-safe even when a degenerate
+// forecast produced the ±1e18 sentinel of relErr.
+//
+// The scratch slice used to sort errors is retained across calls, so
+// Score and QuantilesFor allocate nothing in steady state.
+type ResidualWindow struct {
+	buf     []float64
+	next    int
+	full    bool
+	clamp   float64
+	scratch []float64
+}
+
+// NewResidualWindow returns a window retaining the last n errors
+// (n ≥ 1), each clamped to ±clamp (clamp ≤ 0 means the paper's default
+// bound of 10).
+func NewResidualWindow(n int, clamp float64) *ResidualWindow {
+	if n < 1 {
+		n = 1
+	}
+	if clamp <= 0 {
+		clamp = 10
+	}
+	return &ResidualWindow{
+		buf:     make([]float64, 0, n),
+		clamp:   clamp,
+		scratch: make([]float64, 0, n),
+	}
+}
+
+// Score records the Eq.-4 error of one (forecast, actual) pair. Pairs
+// with a non-positive or non-finite forecast are scored as a maximal
+// overprediction (+clamp) rather than skipped, so a pathological
+// predictor widens its own intervals instead of silently keeping them
+// tight.
+func (w *ResidualWindow) Score(forecast, actual float64) {
+	var e float64
+	if !isFinitePositive(forecast) {
+		e = w.clamp
+	} else {
+		e = relErr(forecast, actual)
+		if e > w.clamp {
+			e = w.clamp
+		} else if e < -w.clamp {
+			e = -w.clamp
+		}
+	}
+	w.Push(e)
+}
+
+// Push records an already-computed (and caller-clamped) error value.
+// Non-finite values are clamped to ±clamp so the window stays JSON-safe.
+func (w *ResidualWindow) Push(e float64) {
+	if math.IsNaN(e) {
+		e = w.clamp
+	} else if e > w.clamp {
+		e = w.clamp
+	} else if e < -w.clamp {
+		e = -w.clamp
+	}
+	if !w.full && len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, e)
+		if len(w.buf) == cap(w.buf) {
+			w.full = true
+			w.next = 0
+		}
+		return
+	}
+	w.buf[w.next] = e
+	w.next = (w.next + 1) % len(w.buf)
+}
+
+// Count returns the number of retained errors.
+func (w *ResidualWindow) Count() int { return len(w.buf) }
+
+// Reset discards all retained errors.
+func (w *ResidualWindow) Reset() {
+	w.buf = w.buf[:0]
+	w.next = 0
+	w.full = false
+}
+
+// Errors returns the retained errors oldest-first, appended to dst.
+func (w *ResidualWindow) Errors(dst []float64) []float64 {
+	if w.full {
+		dst = append(dst, w.buf[w.next:]...)
+		return append(dst, w.buf[:w.next]...)
+	}
+	return append(dst, w.buf...)
+}
+
+// SetErrors replaces the window contents with errs (oldest-first),
+// keeping at most the window capacity (the most recent entries win).
+func (w *ResidualWindow) SetErrors(errs []float64) {
+	w.Reset()
+	if n := cap(w.buf); len(errs) > n {
+		errs = errs[len(errs)-n:]
+	}
+	for _, e := range errs {
+		w.Push(e)
+	}
+}
+
+// QuantilesFor converts a point forecast into empirical throughput
+// quantiles using the retained error distribution. ok is false until
+// residualMinSamples errors have been scored or when the forecast is
+// not a positive finite value.
+func (w *ResidualWindow) QuantilesFor(forecast float64) (Quantiles, bool) {
+	var q Quantiles
+	var ok bool
+	q, ok, w.scratch = QuantilesForErrors(forecast, w.buf, w.scratch)
+	return q, ok
+}
+
+// QuantilesForErrors derives empirical throughput quantiles for a point
+// forecast from a window of Eq.-4 relative errors, by inverting the
+// error quantiles (see ResidualWindow). scratch (may be nil) is used to
+// sort a copy of errs and is returned for reuse, so steady-state callers
+// allocate nothing. ok is false with fewer than 3 errors or a
+// non-positive/non-finite forecast.
+func QuantilesForErrors(forecast float64, errs, scratch []float64) (Quantiles, bool, []float64) {
+	if len(errs) < residualMinSamples || !isFinitePositive(forecast) {
+		return Quantiles{}, false, scratch
+	}
+	scratch = append(scratch[:0], errs...)
+	insertionSort(scratch)
+	e10 := percentileSorted(scratch, 0.10)
+	e50 := percentileSorted(scratch, 0.50)
+	e90 := percentileSorted(scratch, 0.90)
+	// X is monotone decreasing in E: the largest errors (overprediction)
+	// map to the lowest throughputs.
+	q := Quantiles{
+		P10: invertRelErr(forecast, e90),
+		P50: invertRelErr(forecast, e50),
+		P90: invertRelErr(forecast, e10),
+	}
+	return q, true, scratch
+}
+
+// invertRelErr solves Eq. 4 for the actual value X given the forecast
+// and an error quantile e.
+func invertRelErr(forecast, e float64) float64 {
+	if e >= 0 {
+		return forecast / (1 + e)
+	}
+	return forecast * (1 - e)
+}
+
+// percentileSorted returns the p-th (0..1) percentile of an ascending
+// slice with linear interpolation between order statistics.
+func percentileSorted(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 1 {
+		return xs[0]
+	}
+	pos := p * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return xs[n-1]
+	}
+	frac := pos - float64(i)
+	return xs[i] + frac*(xs[i+1]-xs[i])
+}
+
+// insertionSort sorts xs ascending in place. The windows sorted here are
+// small (≤ ~64 entries) and the allocation-free guarantee matters more
+// than asymptotics, so this replaces sort.Float64s on the hot path.
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+func isFinitePositive(x float64) bool {
+	return x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x)
+}
+
+// ResidualQuantile adapts any point HB predictor into a
+// QuantilePredictor: each Observe first scores the inner predictor's
+// standing forecast against the actual value, then feeds the inner
+// predictor. It implements both HB and QuantilePredictor and is the
+// offline counterpart of the per-family residual tracking predsvc
+// sessions do internally.
+type ResidualQuantile struct {
+	inner HB
+	win   *ResidualWindow
+}
+
+// NewResidualQuantile wraps inner with a residual window of the given
+// size (window ≤ 0 means 50, the service's default error window) and
+// error clamp (≤ 0 means 10).
+func NewResidualQuantile(inner HB, window int, clamp float64) *ResidualQuantile {
+	if window <= 0 {
+		window = 50
+	}
+	return &ResidualQuantile{inner: inner, win: NewResidualWindow(window, clamp)}
+}
+
+// Name implements HB.
+func (r *ResidualQuantile) Name() string { return r.inner.Name() }
+
+// Predict implements HB.
+func (r *ResidualQuantile) Predict() (float64, bool) { return r.inner.Predict() }
+
+// Observe implements HB.
+func (r *ResidualQuantile) Observe(x float64) {
+	if f, ok := r.inner.Predict(); ok {
+		r.win.Score(f, x)
+	}
+	r.inner.Observe(x)
+}
+
+// Reset implements HB.
+func (r *ResidualQuantile) Reset() {
+	r.inner.Reset()
+	r.win.Reset()
+}
+
+// PredictQuantiles implements QuantilePredictor.
+func (r *ResidualQuantile) PredictQuantiles() (Quantiles, bool) {
+	f, ok := r.inner.Predict()
+	if !ok {
+		return Quantiles{}, false
+	}
+	return r.win.QuantilesFor(f)
+}
+
+// Window exposes the residual window (for serialization and tests).
+func (r *ResidualQuantile) Window() *ResidualWindow { return r.win }

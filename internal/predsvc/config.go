@@ -82,6 +82,20 @@ type Config struct {
 	// 1460 B MSS, 1 MB window, delayed ACKs — the paper's target flow).
 	FB predict.FBConfig
 
+	// DisableZoo restricts each session to the paper ensemble (HB trio +
+	// FB), turning off the tournament extras — stability switcher,
+	// feature regression and ECM. By default the full zoo runs per path.
+	DisableZoo bool
+	// Regression tunes the online least-squares family (zero value:
+	// predict.RegressionConfig defaults).
+	Regression predict.RegressionConfig
+	// ECM tunes the Empirical Conditional Method family (zero value:
+	// predict.ECMConfig defaults).
+	ECM predict.ECMConfig
+	// Switcher tunes the stability-aware hybrid family (zero value:
+	// predict.SwitcherConfig defaults).
+	Switcher predict.SwitcherConfig
+
 	// StaleAfter is how many observations a path may absorb after a
 	// measurement before FB forecasts are flagged stale and excluded from
 	// best-predictor selection (default 30; negative disables staleness

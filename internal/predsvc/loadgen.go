@@ -121,6 +121,12 @@ type LoadConfig struct {
 	// ErrClamp bounds |E| in the client-side accuracy aggregation
 	// (default 10, as in the offline experiments).
 	ErrClamp float64
+	// Quantiles scores the service's [p10,p90] interval forecasts against
+	// the actual throughputs: every predict response carrying an interval
+	// counts toward LoadReport.IntervalCoverage. The quantile fields ride
+	// in the predict response body either way (and hence in the digest);
+	// this only enables the client-side calibration bookkeeping.
+	Quantiles bool
 	// Client overrides the HTTP client (default: keep-alive tuned for
 	// Workers connections).
 	Client *http.Client
@@ -194,6 +200,13 @@ type LoadReport struct {
 	RMSRE        float64
 	MedianAbsErr float64
 
+	// Interval calibration, populated when LoadConfig.Quantiles is set:
+	// of the IntervalsScored predict responses that carried a [p10,p90]
+	// interval, IntervalCoverage is the fraction whose epoch's actual
+	// throughput landed inside it (nominal 0.8 for a calibrated service).
+	IntervalsScored  int
+	IntervalCoverage float64
+
 	// Digest is a SHA-256 over every 200-OK /v1/predict response body of
 	// the normal (fault-free) replay, chained per path and combined in
 	// sorted path order — identical digests across two runs prove
@@ -213,9 +226,14 @@ type LoadReport struct {
 func (r LoadReport) String() string {
 	s := fmt.Sprintf(
 		"%d paths, %d epochs: %d requests (%d errors) in %v → %.0f req/s; "+
-			"%d predictions scored, RMSRE %.3f, median |E| %.3f\ndigest sha256:%s",
+			"%d predictions scored, RMSRE %.3f, median |E| %.3f",
 		r.Paths, r.Epochs, r.Requests, r.Errors, r.Duration.Round(time.Millisecond),
-		r.QPS, r.Predictions, r.RMSRE, r.MedianAbsErr, r.Digest)
+		r.QPS, r.Predictions, r.RMSRE, r.MedianAbsErr)
+	if r.IntervalsScored > 0 {
+		s += fmt.Sprintf("; [p10,p90] coverage %.3f over %d intervals",
+			r.IntervalCoverage, r.IntervalsScored)
+	}
+	s += fmt.Sprintf("\ndigest sha256:%s", r.Digest)
 	if r.ShedRetries > 0 || r.ChaosRequests > 0 {
 		s += fmt.Sprintf("\nchaos: %d injected client faults (%d landed), %d shed retries",
 			r.ChaosRequests, r.ChaosFaults, r.ShedRetries)
@@ -295,6 +313,8 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 		chaosReqs   uint64
 		chaosFaults uint64
 		errs        []float64
+		covIn       int
+		covTotal    int
 		digests     map[string]string
 		err         error
 	}
@@ -339,7 +359,8 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 			outs[w] = workerOut{
 				requests: lw.requests, errors: lw.errors,
 				shedRetries: lw.shedRetries, chaosReqs: lw.chaosRequests, chaosFaults: lw.chaosFaults,
-				errs: lw.scored, digests: lw.digests, err: lw.err,
+				errs: lw.scored, covIn: lw.covIn, covTotal: lw.covTotal,
+				digests: lw.digests, err: lw.err,
 			}
 		}(w)
 	}
@@ -347,6 +368,7 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 
 	rep := &LoadReport{Paths: len(series)}
 	var allErrs []float64
+	var covIn int
 	perPath := make(map[string]string)
 	for _, o := range outs {
 		if o.err != nil && ctx.Err() == nil {
@@ -357,6 +379,8 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 		rep.ShedRetries += o.shedRetries
 		rep.ChaosRequests += o.chaosReqs
 		rep.ChaosFaults += o.chaosFaults
+		rep.IntervalsScored += o.covTotal
+		covIn += o.covIn
 		allErrs = append(allErrs, o.errs...)
 		for p, d := range o.digests {
 			perPath[p] = d
@@ -398,6 +422,9 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 		rep.QPS = float64(rep.Requests) / rep.Duration.Seconds()
 	}
 	rep.Predictions = len(allErrs)
+	if rep.IntervalsScored > 0 {
+		rep.IntervalCoverage = float64(covIn) / float64(rep.IntervalsScored)
+	}
 	rep.RMSRE = stats.RMSRE(allErrs, cfg.ErrClamp)
 	abs := make([]float64, len(allErrs))
 	for i, e := range allErrs {
@@ -428,6 +455,8 @@ type loadWorker struct {
 	requests uint64
 	errors   uint64
 	scored   []float64
+	covIn    int               // actuals inside the served [p10,p90] interval
+	covTotal int               // predict responses that carried an interval
 	digests  map[string]string // path → running hex digest chain
 	err      error
 
@@ -477,6 +506,12 @@ func (lw *loadWorker) epoch(ctx context.Context, ps PathSeries, e int) {
 			lw.digests[ps.Path] = hex.EncodeToString(sum[:])
 			if pred.Best != "" && pred.BestForecastBps > 0 {
 				lw.scored = append(lw.scored, stats.RelativeError(pred.BestForecastBps, actual))
+			}
+			if lw.cfg.Quantiles && pred.P10Bps > 0 && pred.P90Bps >= pred.P10Bps {
+				lw.covTotal++
+				if actual >= pred.P10Bps && actual <= pred.P90Bps {
+					lw.covIn++
+				}
 			}
 		}
 	}

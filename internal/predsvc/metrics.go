@@ -126,6 +126,50 @@ type Metrics struct {
 	snapshotRetries  atomic.Uint64
 	snapshotFailures atomic.Uint64
 	stalePredictions atomic.Uint64
+
+	// Tournament selection counters: how many predict responses each
+	// family won. familyNames is installed once at server construction
+	// (every session runs the same zoo); a bare Metrics without names
+	// simply records nothing.
+	familyNames      []string
+	familySelections [maxFamilies]atomic.Uint64
+}
+
+// maxFamilies bounds the tracked tournament entrants (the full zoo is 7:
+// MA, EWMA, HW, switcher, FB, regression, ECM).
+const maxFamilies = 8
+
+// setFamilyNames installs the zoo's family names. Must be called before
+// the server starts handling requests; not safe concurrently with
+// recordSelection.
+func (m *Metrics) setFamilyNames(names []string) {
+	if len(names) > maxFamilies {
+		names = names[:maxFamilies]
+	}
+	m.familyNames = names
+}
+
+// recordSelection ticks the winning family's selection counter.
+func (m *Metrics) recordSelection(name string) {
+	for i, n := range m.familyNames {
+		if n == name {
+			m.familySelections[i].Add(1)
+			return
+		}
+	}
+}
+
+// SelectionCounts returns the per-family selection counters (nil when no
+// family names were installed).
+func (m *Metrics) SelectionCounts() map[string]uint64 {
+	if len(m.familyNames) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(m.familyNames))
+	for i, n := range m.familyNames {
+		out[n] = m.familySelections[i].Load()
+	}
+	return out
 }
 
 func (m *Metrics) record(ep endpoint, status int, d time.Duration) {
@@ -155,6 +199,7 @@ type MetricsSnapshot struct {
 	SnapshotRetries  uint64             `json:"snapshot_retries"`
 	SnapshotFailures uint64             `json:"snapshot_failures"`
 	StalePredictions uint64             `json:"stale_predictions"`
+	FamilySelections map[string]uint64  `json:"family_selections,omitempty"`
 	Endpoints        []EndpointSnapshot `json:"endpoints"`
 }
 
@@ -170,6 +215,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SnapshotRetries:  m.snapshotRetries.Load(),
 		SnapshotFailures: m.snapshotFailures.Load(),
 		StalePredictions: m.stalePredictions.Load(),
+		FamilySelections: m.SelectionCounts(),
 	}
 	for ep := endpoint(0); ep < epCount; ep++ {
 		s.Endpoints = append(s.Endpoints, EndpointSnapshot{

@@ -2,6 +2,7 @@ package predsvc
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"time"
 
@@ -25,7 +26,10 @@ import (
 //	predsvc_store_hot_paths, …_cold_paths         storage-tier occupancy
 //	predsvc_store_spills_total, …_faults_total    disk-tier traffic (see store.TierStats)
 //	predsvc_uptime_seconds                        since NewServer
-//	predsvc_rmsre{predictor=P}                    mean rolling RMSRE (Eq. 5) across paths
+//	predsvc_rmsre{predictor=F}                    mean rolling RMSRE (Eq. 5) across paths, per family
+//	predsvc_regret{family=F}                      mean rolling regret vs best-in-hindsight, per family
+//	predsvc_family_selected_total{family=F}       predict responses each family won
+//	predsvc_interval_coverage                     fraction of observations inside [p10,p90]
 //	predsvc_lso_shifts, predsvc_lso_outliers      LSO detections summed over live sessions
 //
 // NewServer calls this automatically when Config.Obs is set; it is
@@ -86,20 +90,27 @@ func (r *Server) RegisterObsMetrics(m *obs.Registry) {
 	m.GaugeFunc("predsvc_goroutines", "goroutines in the process",
 		func() float64 { return float64(runtime.NumGoroutine()) })
 
-	// Per-predictor accuracy. The ensemble is identical on every path, so
-	// a probe session supplies the predictor names; the gauges average
-	// each predictor's rolling RMSRE (paper Eq. 5) over the paths where
-	// its error window has content.
+	// Per-family tournament metrics. The zoo is identical on every path,
+	// so a probe session supplies the family names; the gauges average
+	// each family's rolling RMSRE (paper Eq. 5) and regret over the
+	// paths where its error window has content, and the counters track
+	// how often each family won the online selection.
 	probe := newSession("", r.cfg)
-	for i, hb := range probe.hbs {
-		i, name := i, hb.Name()
+	for i, f := range probe.families {
+		i, name := i, f.name
 		m.GaugeFunc(fmt.Sprintf("predsvc_rmsre{predictor=%q}", name),
 			"mean rolling RMSRE (Eq. 5) across paths",
 			func() float64 { return r.meanRMSRE(i) })
+		m.GaugeFunc(fmt.Sprintf("predsvc_regret{family=%q}", name),
+			"mean rolling regret vs the best-in-hindsight family, across paths",
+			func() float64 { return r.meanRegret(i) })
+		m.CounterFunc(fmt.Sprintf("predsvc_family_selected_total{family=%q}", name),
+			"predict responses this family won",
+			func() uint64 { return r.metrics.familySelections[i].Load() })
 	}
-	fbIdx := len(probe.hbs)
-	m.GaugeFunc(`predsvc_rmsre{predictor="FB"}`, "mean rolling RMSRE (Eq. 5) across paths",
-		func() float64 { return r.meanRMSRE(fbIdx) })
+	m.GaugeFunc("predsvc_interval_coverage",
+		"fraction of observations inside the standing [p10,p90] interval, across paths",
+		func() float64 { return r.intervalCoverage() })
 
 	m.GaugeFunc("predsvc_lso_shifts", "level shifts detected, summed over live sessions",
 		func() float64 { s, _ := r.lsoTotals(); return float64(s) })
@@ -124,14 +135,14 @@ func latencyState(h *histogram) obs.HistogramState {
 	}
 }
 
-// meanRMSRE averages predictor i's rolling RMSRE over every live session
+// meanRMSRE averages family i's rolling RMSRE over every live session
 // that has scored at least one forecast for it. Sessions self-lock; the
 // scrape never blocks the registry shards on predictor state.
 func (r *Server) meanRMSRE(i int) float64 {
 	var sum float64
 	var n int
 	r.reg.forEachLRU(func(s *Session) {
-		if v, ok := s.predictorRMSRE(i); ok {
+		if v, ok := s.familyRMSRE(i); ok {
 			sum += v
 			n++
 		}
@@ -140,6 +151,40 @@ func (r *Server) meanRMSRE(i int) float64 {
 		return 0
 	}
 	return sum / float64(n)
+}
+
+// meanRegret averages family i's rolling regret (mean |E| gap to the
+// session's best family) over every live session where it has scored.
+func (r *Server) meanRegret(i int) float64 {
+	var sum float64
+	var n int
+	r.reg.forEachLRU(func(s *Session) {
+		if v, ok := s.familyRegret(i); ok {
+			sum += v
+			n++
+		}
+	})
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// intervalCoverage sums the coverage counters over live sessions: the
+// fraction of observations that landed inside the standing [P10,P90]
+// interval of the then-selected family (0 until anything was scored;
+// nominal is 0.8).
+func (r *Server) intervalCoverage() float64 {
+	var in, total uint64
+	r.reg.forEachLRU(func(s *Session) {
+		i, t := s.coverage()
+		in += i
+		total += t
+	})
+	if total == 0 {
+		return 0
+	}
+	return float64(in) / float64(total)
 }
 
 // lsoTotals sums LSO detections over every live session.
@@ -152,19 +197,40 @@ func (r *Server) lsoTotals() (shifts, outliers int) {
 	return
 }
 
-// predictorRMSRE returns ensemble member i's rolling RMSRE (i equal to
-// len(hbs) selects FB) and whether its window has scored anything.
-func (s *Session) predictorRMSRE(i int) (float64, bool) {
+// familyRMSRE returns family i's rolling RMSRE and whether its window
+// has scored anything.
+func (s *Session) familyRMSRE(i int) (float64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w := s.fbErr
-	if i < len(s.hbErr) {
-		w = s.hbErr[i]
+	if i >= len(s.families) {
+		return 0, false
 	}
+	w := s.families[i].err
 	if w.count() == 0 {
 		return 0, false
 	}
 	return w.rmsre(s.cfg.ErrClamp)
+}
+
+// familyRegret returns family i's rolling regret — its mean |E| minus
+// the lowest mean |E| among the session's families — and whether its
+// window has scored anything.
+func (s *Session) familyRegret(i int) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i >= len(s.families) || s.families[i].err.count() == 0 {
+		return 0, false
+	}
+	minMean := math.Inf(1)
+	for _, f := range s.families {
+		if f.err.count() == 0 {
+			continue
+		}
+		if m := f.err.meanAbs(); m < minMean {
+			minMean = m
+		}
+	}
+	return s.families[i].err.meanAbs() - minMean, true
 }
 
 // lsoStats sums level-shift and outlier detections over the session's
@@ -172,8 +238,8 @@ func (s *Session) predictorRMSRE(i int) (float64, bool) {
 func (s *Session) lsoStats() (shifts, outliers int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, hb := range s.hbs {
-		if l, ok := hb.(*predict.LSO); ok {
+	for _, f := range s.hbFamilies() {
+		if l, ok := f.hb.(*predict.LSO); ok {
 			shifts += l.Shifts
 			outliers += l.Outliers
 		}

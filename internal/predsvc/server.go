@@ -88,6 +88,14 @@ func Open(cfg Config) (*Server, error) {
 		start:   time.Now(),
 	}
 	s.tracer = s.cfg.Obs.T()
+	// Every session runs the same zoo, so a probe session supplies the
+	// family names the selection counters are keyed by.
+	probe := newSession("", s.cfg)
+	names := make([]string, len(probe.families))
+	for i, f := range probe.families {
+		names[i] = f.name
+	}
+	s.metrics.setFamilyNames(names)
 	s.mux.Handle("POST /v1/observe", s.instrument(epObserve, s.handleObserve))
 	s.mux.Handle("POST /v1/measure", s.instrument(epMeasure, s.handleMeasure))
 	s.mux.Handle("GET /v1/predict", s.instrument(epPredict, s.handlePredict))
@@ -466,6 +474,9 @@ func (r *Server) handlePredict(w http.ResponseWriter, req *http.Request) int {
 	if p.FB != nil && p.FB.Stale {
 		r.metrics.stalePredictions.Add(1)
 	}
+	if p.Family != "" {
+		r.metrics.recordSelection(p.Family)
+	}
 	return writeJSON(w, http.StatusOK, p)
 }
 
@@ -605,6 +616,9 @@ func (r *Server) handlePredictBatch(w http.ResponseWriter, req *http.Request) in
 		p := sess.Predict()
 		if p.FB != nil && p.FB.Stale {
 			r.metrics.stalePredictions.Add(1)
+		}
+		if p.Family != "" {
+			r.metrics.recordSelection(p.Family)
 		}
 		resp.Predictions = append(resp.Predictions, p)
 	}

@@ -8,35 +8,73 @@ import (
 	"repro/internal/stats"
 )
 
-// Session is the goroutine-safe per-path predictor state: the HB ensemble,
-// the FB predictor with its latest a-priori measurements, and a rolling
-// error window per predictor. All methods may be called concurrently; a
-// single mutex serializes access to the whole ensemble, which is required
-// because the predict.HB implementations themselves are not goroutine-safe.
+// Session is the goroutine-safe per-path predictor state: the full
+// predictor zoo — the paper's HB ensemble, the FB predictor with its
+// latest a-priori measurements, and (unless Config.DisableZoo) the
+// stability switcher, feature regression and ECM families — each with a
+// rolling error window. All methods may be called concurrently; a
+// single mutex serializes access to the whole zoo, which is required
+// because the predict.HB implementations themselves are not
+// goroutine-safe.
 //
 // The accuracy bookkeeping follows the paper's protocol exactly: when a
-// new throughput observation X arrives, each predictor's standing forecast
+// new throughput observation X arrives, each family's standing forecast
 // X̂ (made before seeing X) is scored with the relative error
-// E = (X̂-X)/min(X̂,X) (Eq. 4), and only then is X fed to the predictors.
+// E = (X̂-X)/min(X̂,X) (Eq. 4), and only then is X fed to the
+// predictors. The same error windows double as the calibration data for
+// the served P10/P50/P90 intervals (see predict.QuantilesForErrors) and
+// as the regret bookkeeping of the online family tournament.
 type Session struct {
 	mu   sync.Mutex
 	path string
 	cfg  Config
 
-	hbs   []predict.HB
-	hbErr []*errWindow
+	// families is the zoo in serving order: the three HB ensemble
+	// members first (they also populate Prediction.HB), then the
+	// switcher, FB, regression and ECM families.
+	families []*family
 
 	fb    *predict.FB
 	fbIn  predict.FBInputs
 	hasFB bool
-	fbErr *errWindow
 	// fbSetAtObs is the observation count when the measurements were
 	// installed; the gap to the current count is the measurement age that
 	// drives staleness flagging (deterministic, unlike wall time).
 	fbSetAtObs uint64
 
+	reg *predict.Regression
+	ecm *predict.ECM
+
+	// Interval-coverage bookkeeping: covTotal counts observations that
+	// arrived while a calibrated [P10,P90] interval was standing for the
+	// selected family; covIn counts those that landed inside it.
+	covIn, covTotal uint64
+
 	observations uint64
 	history      []float64 // recent raw observations, for snapshot/restore
+
+	qscratch []float64 // sort scratch for quantile derivation
+}
+
+// familyKind distinguishes how a family forecasts and serializes.
+type familyKind int
+
+const (
+	famHB familyKind = iota // paper HB ensemble member (also in Prediction.HB)
+	famSwitcher
+	famFB // formula-based; forecast depends on standing measurements
+	famRegression
+	famECM
+)
+
+// family is one tournament entrant: a named predictor plus its rolling
+// Eq.-4 error window. hb is nil only for the FB family, whose forecast
+// is a function of the standing measurements rather than of history.
+type family struct {
+	name string
+	kind familyKind
+	hb   predict.HB
+	err  *errWindow
 }
 
 func newSession(path string, cfg Config) *Session {
@@ -49,19 +87,51 @@ func newSession(path string, cfg Config) *Session {
 	s := &Session{
 		path: path,
 		cfg:  cfg,
-		hbs: []predict.HB{
-			wrap(predict.NewMA(cfg.MAOrder)),
-			wrap(predict.NewEWMA(cfg.EWMAAlpha)),
-			wrap(predict.NewHoltWinters(cfg.HWAlpha, cfg.HWBeta)),
-		},
-		fb:    predict.NewFB(cfg.FB),
-		fbErr: newErrWindow(cfg.ErrorWindow),
+		fb:   predict.NewFB(cfg.FB),
+		reg:  predict.NewRegression(cfg.Regression),
+		ecm:  predict.NewECM(cfg.ECM),
 	}
-	s.hbErr = make([]*errWindow, len(s.hbs))
-	for i := range s.hbErr {
-		s.hbErr[i] = newErrWindow(cfg.ErrorWindow)
+	add := func(kind familyKind, hb predict.HB, name string) {
+		if name == "" {
+			name = hb.Name()
+		}
+		s.families = append(s.families, &family{
+			name: name,
+			kind: kind,
+			hb:   hb,
+			err:  newErrWindow(cfg.ErrorWindow),
+		})
+	}
+	add(famHB, wrap(predict.NewMA(cfg.MAOrder)), "")
+	add(famHB, wrap(predict.NewEWMA(cfg.EWMAAlpha)), "")
+	add(famHB, wrap(predict.NewHoltWinters(cfg.HWAlpha, cfg.HWBeta)), "")
+	if !cfg.DisableZoo {
+		// Sun et al.'s pairing: a reactive tracker for stable regimes, a
+		// robust smoother once the rolling CoV flags volatility.
+		sw := predict.NewStabilitySwitcher(
+			predict.NewEWMA(cfg.EWMAAlpha), predict.NewMA(cfg.MAOrder), cfg.Switcher)
+		add(famSwitcher, sw, "")
+	}
+	add(famFB, nil, "FB")
+	if !cfg.DisableZoo {
+		add(famRegression, s.reg, "")
+		add(famECM, s.ecm, "")
 	}
 	return s
+}
+
+// hbFamilies returns the three paper-ensemble families (always the
+// first three, in MA/EWMA/HW order).
+func (s *Session) hbFamilies() []*family { return s.families[:3] }
+
+// fbFamily returns the FB tournament entry.
+func (s *Session) fbFamily() *family {
+	for _, f := range s.families {
+		if f.kind == famFB {
+			return f
+		}
+	}
+	return nil
 }
 
 // Path returns the path name the session serves.
@@ -72,6 +142,13 @@ func (s *Session) Observations() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.observations
+}
+
+// coverage returns the interval-coverage counters.
+func (s *Session) coverage() (in, total uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.covIn, s.covTotal
 }
 
 // ValidObservation reports whether x is a usable throughput sample: finite
@@ -91,8 +168,8 @@ func ValidMeasurement(in predict.FBInputs) bool {
 }
 
 // Observe feeds the throughput (bits/s) achieved by the latest transfer on
-// the path: every predictor's standing forecast is scored against it, then
-// the HB ensemble absorbs it. It returns the new observation count.
+// the path: every family's standing forecast is scored against it, then
+// the predictors absorb it. It returns the new observation count.
 // Invalid samples (see ValidObservation) are dropped: the count is
 // returned unchanged. The HTTP layer rejects them with a 400 before this
 // point; the check here protects direct API users.
@@ -107,18 +184,25 @@ func (s *Session) Observe(throughputBps float64) uint64 {
 }
 
 func (s *Session) observeLocked(x float64) {
-	for i, hb := range s.hbs {
-		if f, ok := hb.Predict(); ok {
-			s.hbErr[i].push(s.clampErr(stats.RelativeError(f, x)))
+	// Interval calibration: score the standing [P10,P90] of the currently
+	// selected family before anything mutates.
+	if sel, fc := s.selectLocked(); sel != nil {
+		if q, ok := s.quantilesLocked(sel, fc); ok {
+			s.covTotal++
+			if x >= q.P10 && x <= q.P90 {
+				s.covIn++
+			}
 		}
 	}
-	if s.hasFB {
-		if f := s.fb.Predict(s.fbIn); f > 0 {
-			s.fbErr.push(s.clampErr(stats.RelativeError(f, x)))
+	for _, f := range s.families {
+		if fc, ok := s.forecastLocked(f); ok && fc > 0 {
+			f.err.push(s.clampErr(stats.RelativeError(fc, x)))
 		}
 	}
-	for _, hb := range s.hbs {
-		hb.Observe(x)
+	for _, f := range s.families {
+		if f.hb != nil {
+			f.hb.Observe(x)
+		}
 	}
 	s.observations++
 	s.history = append(s.history, x)
@@ -126,6 +210,24 @@ func (s *Session) observeLocked(x float64) {
 		keep := s.history[len(s.history)-s.cfg.HistoryLimit:]
 		s.history = append(s.history[:0], keep...)
 	}
+}
+
+// forecastLocked returns a family's standing forecast.
+func (s *Session) forecastLocked(f *family) (float64, bool) {
+	if f.kind == famFB {
+		if !s.hasFB {
+			return 0, false
+		}
+		fc := s.fb.Predict(s.fbIn)
+		return fc, fc > 0
+	}
+	return f.hb.Predict()
+}
+
+// fbStaleLocked reports whether the standing FB measurements are past
+// the staleness horizon.
+func (s *Session) fbStaleLocked() bool {
+	return s.cfg.StaleAfter > 0 && s.observations-s.fbSetAtObs > uint64(s.cfg.StaleAfter)
 }
 
 // clampErr bounds a relative error before it enters a rolling window.
@@ -144,7 +246,8 @@ func (s *Session) clampErr(e float64) float64 {
 }
 
 // SetMeasurement installs fresh a-priori path measurements (T̂, p̂, Â) for
-// the FB predictor and returns its forecast for them (0 when the inputs
+// the FB predictor — and as conditioning features for the regression and
+// ECM families — and returns the FB forecast for them (0 when the inputs
 // give no basis for prediction). Installing resets the measurement age
 // that drives staleness flagging. Invalid inputs (see ValidMeasurement)
 // are dropped and 0 is returned, leaving prior measurements in place.
@@ -154,10 +257,16 @@ func (s *Session) SetMeasurement(in predict.FBInputs) float64 {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.fbIn = in
-	s.hasFB = true
+	s.setMeasurementLocked(in)
 	s.fbSetAtObs = s.observations
 	return s.fb.Predict(in)
+}
+
+func (s *Session) setMeasurementLocked(in predict.FBInputs) {
+	s.fbIn = in
+	s.hasFB = true
+	s.reg.SetFeatures(in)
+	s.ecm.SetConditions(in)
 }
 
 // PredictorState reports one ensemble member's standing forecast and
@@ -188,10 +297,29 @@ type FBState struct {
 	Stale          bool    `json:"stale,omitempty"`
 }
 
-// Prediction is the full answer for one path: every predictor's forecast
-// and accuracy, plus the best predictor right now (lowest rolling RMSRE
-// among predictors with at least MinErrors scored forecasts; ties break
-// toward the ensemble order MA, EWMA, HW, FB).
+// FamilyState reports one tournament entrant: its standing forecast,
+// calibrated quantiles (when enough errors are scored), rolling
+// accuracy, and regret — the gap between this family's mean |E| and the
+// best family's over the same rolling window (0 for the current
+// best-in-hindsight family).
+type FamilyState struct {
+	Name        string  `json:"name"`
+	Ready       bool    `json:"ready"`
+	ForecastBps float64 `json:"forecast_bps"`
+	P10Bps      float64 `json:"p10_bps,omitempty"`
+	P50Bps      float64 `json:"p50_bps,omitempty"`
+	P90Bps      float64 `json:"p90_bps,omitempty"`
+	RMSRE       float64 `json:"rmsre"`
+	ErrorCount  int     `json:"error_count"`
+	Regret      float64 `json:"regret"`
+	Stale       bool    `json:"stale,omitempty"`
+}
+
+// Prediction is the full answer for one path: the paper ensemble's
+// forecasts and accuracy (HB/FB/Best, unchanged from the point-forecast
+// API), plus the zoo tournament — every family's state with calibrated
+// quantiles and regret, the online-selected family, and its P10/P50/P90
+// interval at the top level.
 type Prediction struct {
 	Path            string           `json:"path"`
 	Observations    uint64           `json:"observations"`
@@ -199,6 +327,18 @@ type Prediction struct {
 	BestForecastBps float64          `json:"best_forecast_bps,omitempty"`
 	HB              []PredictorState `json:"hb"`
 	FB              *FBState         `json:"fb,omitempty"`
+
+	// Family is the tournament winner: lowest rolling RMSRE among
+	// qualified families (≥ MinErrors scored forecasts, ready, positive
+	// forecast, FB never while stale); ties break toward zoo order.
+	Family            string  `json:"family,omitempty"`
+	FamilyForecastBps float64 `json:"family_forecast_bps,omitempty"`
+	// P10/P50/P90 are the selected family's calibrated quantiles
+	// (omitted until its error window holds enough scored forecasts).
+	P10Bps   float64       `json:"p10_bps,omitempty"`
+	P50Bps   float64       `json:"p50_bps,omitempty"`
+	P90Bps   float64       `json:"p90_bps,omitempty"`
+	Families []FamilyState `json:"families,omitempty"`
 }
 
 // Predict returns the current forecasts and accuracy for the path. It is
@@ -209,11 +349,11 @@ func (s *Session) Predict() Prediction {
 	defer s.mu.Unlock()
 
 	p := Prediction{Path: s.path, Observations: s.observations}
-	for i, hb := range s.hbs {
-		f, ok := hb.Predict()
-		st := PredictorState{Name: hb.Name(), Ready: ok, ForecastBps: f}
-		st.RMSRE, _ = s.hbErr[i].rmsre(s.cfg.ErrClamp)
-		st.ErrorCount = s.hbErr[i].count()
+	for _, f := range s.hbFamilies() {
+		fc, ok := f.hb.Predict()
+		st := PredictorState{Name: f.name, Ready: ok, ForecastBps: fc}
+		st.RMSRE, _ = f.err.rmsre(s.cfg.ErrClamp)
+		st.ErrorCount = f.err.count()
 		p.HB = append(p.HB, st)
 	}
 	if s.hasFB {
@@ -224,20 +364,107 @@ func (s *Session) Predict() Prediction {
 			LossRate:       s.fbIn.LossRate,
 			AvailBwBps:     s.fbIn.AvailBw,
 			ForecastBps:    f,
-			ErrorCount:     s.fbErr.count(),
+			ErrorCount:     s.fbFamily().err.count(),
 			MeasurementAge: age,
-			Stale:          s.cfg.StaleAfter > 0 && age > uint64(s.cfg.StaleAfter),
+			Stale:          s.fbStaleLocked(),
 		}
-		fbState.RMSRE, _ = s.fbErr.rmsre(s.cfg.ErrClamp)
+		fbState.RMSRE, _ = s.fbFamily().err.rmsre(s.cfg.ErrClamp)
 		p.FB = fbState
 	}
 	p.Best, p.BestForecastBps = s.bestLocked(p)
+
+	// Tournament view: per-family states with quantiles and regret, then
+	// the selected family's interval at the top level.
+	minMean := math.Inf(1)
+	for _, f := range s.families {
+		if f.err.count() == 0 {
+			continue
+		}
+		if m := f.err.meanAbs(); m < minMean {
+			minMean = m
+		}
+	}
+	for _, f := range s.families {
+		fc, ok := s.forecastLocked(f)
+		st := FamilyState{Name: f.name, Ready: ok, ForecastBps: fc}
+		st.RMSRE, _ = f.err.rmsre(s.cfg.ErrClamp)
+		st.ErrorCount = f.err.count()
+		if st.ErrorCount > 0 {
+			st.Regret = f.err.meanAbs() - minMean
+		}
+		if f.kind == famFB {
+			st.Stale = s.fbStaleLocked()
+		}
+		if q, qok := s.quantilesLocked(f, fc); qok {
+			st.P10Bps, st.P50Bps, st.P90Bps = q.P10, q.P50, q.P90
+		}
+		p.Families = append(p.Families, st)
+	}
+	if sel, fc := s.selectLocked(); sel != nil {
+		p.Family, p.FamilyForecastBps = sel.name, fc
+		if q, ok := s.quantilesLocked(sel, fc); ok {
+			p.P10Bps, p.P50Bps, p.P90Bps = q.P10, q.P50, q.P90
+		}
+	}
 	return p
+}
+
+// selectLocked runs the tournament: the qualified family (ready,
+// positive forecast, ≥ MinErrors scored errors, FB never while stale)
+// with the lowest rolling RMSRE, falling back to the first family with
+// any positive forecast during warm-up.
+func (s *Session) selectLocked() (*family, float64) {
+	var best *family
+	bestFc := 0.0
+	bestR := math.Inf(1)
+	for _, f := range s.families {
+		if f.kind == famFB && s.fbStaleLocked() {
+			continue
+		}
+		fc, ok := s.forecastLocked(f)
+		if !ok || fc <= 0 || f.err.count() < s.cfg.MinErrors {
+			continue
+		}
+		if r, rok := f.err.rmsre(s.cfg.ErrClamp); rok && r < bestR {
+			best, bestFc, bestR = f, fc, r
+		}
+	}
+	if best != nil {
+		return best, bestFc
+	}
+	for _, f := range s.families {
+		if f.kind == famFB && s.fbStaleLocked() {
+			continue
+		}
+		if fc, ok := s.forecastLocked(f); ok && fc > 0 {
+			return f, fc
+		}
+	}
+	return nil, 0
+}
+
+// quantilesLocked derives a family's calibrated P10/P50/P90 for its
+// standing forecast: ECM natively from its conditional histograms, every
+// other family by inverting the empirical quantiles of its rolling Eq.-4
+// errors. ok is false until MinErrors errors are scored.
+func (s *Session) quantilesLocked(f *family, forecast float64) (predict.Quantiles, bool) {
+	if f.kind == famECM {
+		return s.ecm.PredictQuantiles()
+	}
+	if f.err.count() < s.cfg.MinErrors {
+		return predict.Quantiles{}, false
+	}
+	var q predict.Quantiles
+	var ok bool
+	q, ok, s.qscratch = predict.QuantilesForErrors(forecast, f.err.buf, s.qscratch)
+	return q, ok
 }
 
 // bestLocked picks the best predictor from an assembled Prediction:
 // lowest rolling RMSRE among qualified candidates, falling back to the
-// first ready HB member and then to the FB forecast.
+// first ready HB member and then to the FB forecast. It predates the
+// zoo tournament and covers only the paper ensemble (HB trio + FB), so
+// the original point-forecast API keeps its exact semantics.
 func (s *Session) bestLocked(p Prediction) (string, float64) {
 	bestName, bestForecast := "", 0.0
 	bestRMSRE := math.Inf(1)
@@ -284,10 +511,27 @@ func (s *Session) snapshot() PathSnapshot {
 		Path:         s.path,
 		Observations: s.observations,
 		History:      append([]float64(nil), hist...),
-		FBErrors:     s.fbErr.chronological(),
+		CovIn:        s.covIn,
+		CovTotal:     s.covTotal,
 	}
-	for _, w := range s.hbErr {
-		ps.HBErrors = append(ps.HBErrors, w.chronological())
+	// Legacy (v1) mirror of the paper ensemble's windows, so pre-zoo
+	// consumers and diagnostics keep working unchanged.
+	for _, f := range s.hbFamilies() {
+		ps.HBErrors = append(ps.HBErrors, f.err.chronological())
+	}
+	ps.FBErrors = s.fbFamily().err.chronological()
+	// v2: the full tournament state, per family by name.
+	for _, f := range s.families {
+		fs := FamilySnapshot{Name: f.name, Errors: f.err.chronological()}
+		switch f.kind {
+		case famRegression:
+			st := s.reg.State()
+			fs.Regression = &st
+		case famECM:
+			st := s.ecm.State()
+			fs.ECM = &st
+		}
+		ps.Families = append(ps.Families, fs)
 	}
 	if s.hasFB {
 		ps.FBInputs = &FBInputsSnapshot{
@@ -301,35 +545,64 @@ func (s *Session) snapshot() PathSnapshot {
 }
 
 // restore replays a snapshot into the session. Predictors with bounded
-// memory (MA, windowed LSO) restore exactly when the snapshot history
-// covers their window; EWMA/HW restore approximately (their infinite tail
-// beyond HistoryLimit observations is dropped), which the snapshot format
-// documents as acceptable for a cache-like registry.
+// memory (MA, windowed LSO, the switcher) restore exactly when the
+// snapshot history covers their window; EWMA/HW restore approximately
+// (their infinite tail beyond HistoryLimit observations is dropped),
+// which the snapshot format documents as acceptable for a cache-like
+// registry. Regression and ECM state is replaced verbatim from the
+// snapshot when present (v2); restoring a legacy v1 snapshot leaves
+// them with replay-trained state — the documented approximation for
+// pre-zoo snapshots, whose error windows then fill from live traffic.
 func (s *Session) restore(ps PathSnapshot) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Replay trains every history-driven predictor; conditioning features
+	// are not retained per epoch, so regression/ECM see none during
+	// replay (their v2 state overwrite below makes that moot).
 	for _, x := range ps.History {
 		s.observeLocked(x)
 	}
-	// The error windows carry accuracy the replay cannot reconstruct
-	// (observations older than the history, FB scores against bygone
-	// measurements): reinstall them verbatim when the ensemble matches.
-	if len(ps.HBErrors) == len(s.hbErr) {
-		for i, errs := range ps.HBErrors {
-			s.hbErr[i] = windowFromErrors(errs, s.cfg.ErrorWindow)
+	if len(ps.Families) > 0 {
+		// v2: reinstall each family's error window and model state.
+		byName := make(map[string]FamilySnapshot, len(ps.Families))
+		for _, fs := range ps.Families {
+			byName[fs.Name] = fs
 		}
-		s.fbErr = windowFromErrors(ps.FBErrors, s.cfg.ErrorWindow)
+		for _, f := range s.families {
+			fs, ok := byName[f.name]
+			if !ok {
+				continue
+			}
+			f.err = windowFromErrors(fs.Errors, s.cfg.ErrorWindow)
+			switch {
+			case f.kind == famRegression && fs.Regression != nil:
+				s.reg.SetState(*fs.Regression)
+			case f.kind == famECM && fs.ECM != nil:
+				s.ecm.SetState(*fs.ECM)
+			}
+		}
+	} else if len(ps.HBErrors) == len(s.hbFamilies()) {
+		// Legacy v1: the paper ensemble's windows carry accuracy the
+		// replay cannot reconstruct (observations older than the history,
+		// FB scores against bygone measurements).
+		for i, errs := range ps.HBErrors {
+			s.hbFamilies()[i].err = windowFromErrors(errs, s.cfg.ErrorWindow)
+		}
+		s.fbFamily().err = windowFromErrors(ps.FBErrors, s.cfg.ErrorWindow)
 	}
+	// Replace the replay-accumulated coverage counters with the real ones
+	// (zero for v1 snapshots: coverage starts fresh rather than counting
+	// the replay's synthetic intervals).
+	s.covIn, s.covTotal = ps.CovIn, ps.CovTotal
 	if ps.Observations > s.observations {
 		s.observations = ps.Observations
 	}
 	if ps.FBInputs != nil {
-		s.fbIn = predict.FBInputs{
+		s.setMeasurementLocked(predict.FBInputs{
 			RTT:      ps.FBInputs.RTTSeconds,
 			LossRate: ps.FBInputs.LossRate,
 			AvailBw:  ps.FBInputs.AvailBwBps,
-		}
-		s.hasFB = true
+		})
 		// Carry the measurement age across the restart so a forecast that
 		// was stale before the crash stays stale after it.
 		age := ps.FBAge
@@ -389,11 +662,54 @@ func (w *errWindow) chronological() []float64 {
 	return append(out, w.buf...)
 }
 
+// forEachChrono visits the retained errors oldest first. Aggregations
+// must accumulate in this order, not ring-storage order: float addition
+// is not associative, and a snapshot-restored window is compacted while
+// a live one is rotated — identical contents must yield bit-identical
+// statistics either way, or a spill/fault cycle would change predict
+// responses.
+func (w *errWindow) forEachChrono(fn func(float64)) {
+	if w.full {
+		for _, e := range w.buf[w.next:] {
+			fn(e)
+		}
+		for _, e := range w.buf[:w.next] {
+			fn(e)
+		}
+		return
+	}
+	for _, e := range w.buf {
+		fn(e)
+	}
+}
+
 // rmsre returns the rolling RMSRE (paper Eq. 5) with |E| clamped at clamp;
 // ok is false when no errors have been recorded yet.
 func (w *errWindow) rmsre(clamp float64) (float64, bool) {
 	if len(w.buf) == 0 {
 		return 0, false
 	}
-	return stats.RMSRE(w.buf, clamp), true
+	var sum float64
+	w.forEachChrono(func(e float64) {
+		if clamp > 0 {
+			if e > clamp {
+				e = clamp
+			} else if e < -clamp {
+				e = -clamp
+			}
+		}
+		sum += e * e
+	})
+	return math.Sqrt(sum / float64(len(w.buf))), true
+}
+
+// meanAbs returns the mean |E| over the window (0 when empty) — the
+// regret bookkeeping's per-family loss.
+func (w *errWindow) meanAbs() float64 {
+	if len(w.buf) == 0 {
+		return 0
+	}
+	var sum float64
+	w.forEachChrono(func(e float64) { sum += math.Abs(e) })
+	return sum / float64(len(w.buf))
 }

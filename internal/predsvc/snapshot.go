@@ -11,6 +11,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/predict"
 )
 
 // FBInputsSnapshot is the serialized form of the latest a-priori
@@ -21,11 +23,29 @@ type FBInputsSnapshot struct {
 	AvailBwBps float64 `json:"avail_bw_bps"`
 }
 
+// FamilySnapshot is one tournament family's serialized state: its
+// rolling Eq.-4 error window (which doubles as quantile calibration
+// data), plus model state for the families whose memory is not a
+// bounded function of the retained history — the regression's decayed
+// normal equations and the ECM's conditional histograms.
+type FamilySnapshot struct {
+	Name       string                   `json:"name"`
+	Errors     []float64                `json:"errors,omitempty"`
+	Regression *predict.RegressionState `json:"regression,omitempty"`
+	ECM        *predict.ECMState        `json:"ecm,omitempty"`
+}
+
 // PathSnapshot is one path's replayable state: the retained raw
 // observation history (bounded by Config.HistoryLimit), the lifetime
 // observation count, the latest FB measurements, and the rolling error
 // windows of every predictor (which cannot be rebuilt from history alone —
 // FB errors depend on measurements that are not retained per epoch).
+//
+// Version 2 added Families (the predictor-zoo tournament state) and the
+// interval-coverage counters; HBErrors/FBErrors remain the v1-shaped
+// mirror of the paper ensemble's windows. A v1 snapshot (no Families)
+// restores through the legacy fields; the zoo families then warm up
+// from live traffic.
 type PathSnapshot struct {
 	Path         string            `json:"path"`
 	Observations uint64            `json:"observations"`
@@ -37,6 +57,11 @@ type PathSnapshot struct {
 	FBAge    uint64      `json:"fb_age,omitempty"`
 	HBErrors [][]float64 `json:"hb_errors,omitempty"`
 	FBErrors []float64   `json:"fb_errors,omitempty"`
+
+	Families []FamilySnapshot `json:"families,omitempty"`
+	// CovIn/CovTotal carry the interval-coverage calibration counters.
+	CovIn    uint64 `json:"cov_in,omitempty"`
+	CovTotal uint64 `json:"cov_total,omitempty"`
 }
 
 // Snapshot is the serialized registry: every session's replayable state,
@@ -53,8 +78,13 @@ type Snapshot struct {
 	Paths   []PathSnapshot `json:"paths"`
 }
 
-// snapshotVersion guards the on-disk format.
-const snapshotVersion = 1
+// snapshotVersion guards the on-disk format. Version 2 (the predictor
+// zoo) added per-family tournament state; version-1 files remain
+// readable — see PathSnapshot.
+const (
+	snapshotVersion       = 2
+	snapshotVersionLegacy = 1
+)
 
 // Snapshot captures the replayable state of every session.
 func (r *Registry) Snapshot() *Snapshot {
@@ -69,8 +99,8 @@ func (r *Registry) Snapshot() *Snapshot {
 // one) and returns the number of paths restored. Paths beyond capacity
 // evict exactly as live traffic would.
 func (r *Registry) Restore(snap *Snapshot) (int, error) {
-	if snap.Version != snapshotVersion {
-		return 0, fmt.Errorf("predsvc: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	if snap.Version != snapshotVersion && snap.Version != snapshotVersionLegacy {
+		return 0, fmt.Errorf("predsvc: snapshot version %d, want %d or %d", snap.Version, snapshotVersionLegacy, snapshotVersion)
 	}
 	for _, ps := range snap.Paths {
 		r.GetOrCreate(ps.Path).restore(ps)
@@ -123,8 +153,8 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if err := json.Unmarshal(body, &snap); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("%w: version %d, want %d", ErrCorruptSnapshot, snap.Version, snapshotVersion)
+	if snap.Version != snapshotVersion && snap.Version != snapshotVersionLegacy {
+		return nil, fmt.Errorf("%w: version %d, want %d or %d", ErrCorruptSnapshot, snap.Version, snapshotVersionLegacy, snapshotVersion)
 	}
 	return &snap, nil
 }

@@ -1,0 +1,49 @@
+package predsvc
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSpillFaultMidstreamByteIdentity guards the two-tier store's core
+// invariant at the session level: a snapshot/restore cycle in the middle
+// of a path's life (exactly what a spill + fault-back does) must leave
+// every subsequent predict response byte-identical to the uninterrupted
+// session's — including after the error windows and the zoo's history
+// rings have wrapped, where ring-storage order diverges from
+// chronological order and naive accumulation order would drift by ulps.
+func TestSpillFaultMidstreamByteIdentity(t *testing.T) {
+	series := SyntheticSeries(1, 120, 7)[0]
+	cfg := Config{Shards: 1, Capacity: 8}.withDefaults()
+	live := newSession(series.Path, cfg)
+	for k := 0; k < 60; k++ {
+		live.SetMeasurement(series.Inputs[k])
+		live.Observe(series.Throughputs[k])
+	}
+	data, err := json.Marshal(live.snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps PathSnapshot
+	if err := json.Unmarshal(data, &ps); err != nil {
+		t.Fatal(err)
+	}
+	faulted := newSession(series.Path, cfg)
+	faulted.restore(ps)
+	b1, _ := json.Marshal(live.Predict())
+	b2, _ := json.Marshal(faulted.Predict())
+	if string(b1) != string(b2) {
+		t.Fatalf("diverged immediately after restore:\nlive    %s\nfaulted %s", b1, b2)
+	}
+	for k := 60; k < 120; k++ {
+		live.SetMeasurement(series.Inputs[k])
+		live.Observe(series.Throughputs[k])
+		faulted.SetMeasurement(series.Inputs[k])
+		faulted.Observe(series.Throughputs[k])
+		b1, _ := json.Marshal(live.Predict())
+		b2, _ := json.Marshal(faulted.Predict())
+		if string(b1) != string(b2) {
+			t.Fatalf("diverged at epoch %d:\nlive    %s\nfaulted %s", k, b1, b2)
+		}
+	}
+}

@@ -99,6 +99,7 @@ func TestStoreConformance(t *testing.T) {
 			t.Run("Range", func(t *testing.T) { testRange(t, f) })
 			t.Run("Recent", func(t *testing.T) { testRecent(t, f) })
 			t.Run("SnapshotRoundTrip", func(t *testing.T) { testSnapshotRoundTrip(t, f) })
+			t.Run("LargePayload", func(t *testing.T) { testLargePayload(t, f) })
 			t.Run("Hammer", func(t *testing.T) { testHammer(t, f) })
 		})
 	}
@@ -346,6 +347,45 @@ func testSnapshotRoundTrip(t *testing.T, f factory) {
 		}
 		if got := e.(*toyEntry).sum(); got != want {
 			t.Fatalf("restored %s sum = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// testLargePayload pushes entries whose encoded form runs to hundreds of
+// kilobytes through eviction and fault-back. The predictor-zoo sessions
+// serialize far more state than the original ensemble (per-family error
+// windows, regression normal equations, ECM histograms), so the spill
+// log's record framing must survive payloads well past any small-buffer
+// assumption, byte for byte.
+func testLargePayload(t *testing.T, f factory) {
+	st := f.open(t, MemConfig{Shards: 1, Capacity: 2, New: newToy})
+	defer st.Close()
+
+	const vals = 40000 // ≳ 300 KiB of JSON per entry
+	want := map[string]float64{}
+	for _, p := range []string{"big-a", "big-b", "big-c", "big-d"} {
+		e := st.GetOrCreate(p).(*toyEntry)
+		for j := 0; j < vals; j++ {
+			e.add(float64(j%977) + 0.5)
+		}
+		want[p] = e.sum()
+	}
+	// Capacity 2 on one shard: two entries were evicted with their full
+	// payloads. A retaining store must fault them back intact.
+	for p, sum := range want {
+		e, ok := st.Lookup(p)
+		if !f.retainsEvicted {
+			continue
+		}
+		if !ok {
+			t.Fatalf("large entry %s lost across eviction", p)
+		}
+		te := e.(*toyEntry)
+		if len(te.vals) != vals {
+			t.Fatalf("%s came back with %d values, want %d", p, len(te.vals), vals)
+		}
+		if got := te.sum(); got != sum {
+			t.Fatalf("%s sum = %v after fault-back, want %v", p, got, sum)
 		}
 	}
 }

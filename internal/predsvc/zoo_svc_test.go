@@ -1,0 +1,250 @@
+package predsvc
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/predict"
+)
+
+// TestPredictServesQuantilesAndFamily: after enough traffic every predict
+// response must carry a tournament winner plus an ordered [p10,p50,p90]
+// interval, and the per-family breakdown must cover the full zoo.
+func TestPredictServesQuantilesAndFamily(t *testing.T) {
+	s := newSession("p", testConfig())
+	series := SyntheticSeries(1, 60, 42)[0]
+	for i, x := range series.Throughputs {
+		s.SetMeasurement(series.Inputs[i])
+		s.Observe(x)
+	}
+	p := s.Predict()
+	if p.Family == "" || p.FamilyForecastBps <= 0 {
+		t.Fatalf("no tournament winner after 60 epochs: %+v", p)
+	}
+	if !(p.P10Bps > 0 && p.P10Bps <= p.P50Bps && p.P50Bps <= p.P90Bps) {
+		t.Fatalf("quantiles not ordered/positive: p10=%v p50=%v p90=%v",
+			p.P10Bps, p.P50Bps, p.P90Bps)
+	}
+	if len(p.Families) != 7 {
+		t.Fatalf("family breakdown has %d entries, want 7 (MA, EWMA, HW, switcher, FB, regression, ECM)", len(p.Families))
+	}
+	var won *FamilyState
+	for i := range p.Families {
+		f := &p.Families[i]
+		if f.ErrorCount == 0 {
+			t.Errorf("family %s scored no errors over 60 epochs", f.Name)
+		}
+		if f.Regret < 0 {
+			t.Errorf("family %s regret %v < 0; regret is a gap to the best", f.Name, f.Regret)
+		}
+		if f.Name == p.Family {
+			won = f
+		}
+	}
+	if won == nil {
+		t.Fatalf("winner %q not in the family breakdown", p.Family)
+	}
+	if won.Regret != 0 {
+		t.Errorf("winner %s has regret %v, want 0 (it is the best-in-hindsight)", won.Name, won.Regret)
+	}
+	// The paper ensemble's fields are unchanged by the zoo.
+	if len(p.HB) != 3 || p.Best == "" {
+		t.Errorf("paper ensemble view degraded: %d HB entries, best %q", len(p.HB), p.Best)
+	}
+}
+
+// TestDisableZoo restricts a session to the paper ensemble: no extra
+// families, no tournament winner beyond the HB trio + FB.
+func TestDisableZoo(t *testing.T) {
+	cfg := testConfig()
+	cfg.DisableZoo = true
+	s := newSession("p", cfg)
+	for _, x := range []float64{10e6, 11e6, 12e6, 11e6, 10e6, 12e6} {
+		s.Observe(x)
+	}
+	p := s.Predict()
+	if len(p.Families) != 4 {
+		t.Fatalf("DisableZoo session runs %d families, want 4 (MA, EWMA, HW, FB)", len(p.Families))
+	}
+	for _, f := range p.Families {
+		switch f.Name {
+		case "regression", "ECM", "switcher":
+			t.Errorf("DisableZoo session still runs %s", f.Name)
+		}
+	}
+}
+
+// TestCalibrationEndToEnd is the acceptance criterion for the quantile
+// surface: replay a deterministic synthetic workload against a real
+// daemon with interval scoring on, and require the empirical coverage of
+// the served [p10,p90] intervals to land within ±10 points of the nominal
+// 80%.
+func TestCalibrationEndToEnd(t *testing.T) {
+	base, stop := startDaemon(t, Config{Shards: 8, Capacity: 256})
+	defer stop()
+
+	series := SyntheticSeries(12, 80, 17)
+	rep, err := Replay(context.Background(), LoadConfig{BaseURL: base, Workers: 4, Quantiles: true}, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("calibration run had %d request errors", rep.Errors)
+	}
+	if rep.IntervalsScored == 0 {
+		t.Fatal("no intervals scored: predict responses are not serving quantiles")
+	}
+	if rep.IntervalCoverage < 0.70 || rep.IntervalCoverage > 0.90 {
+		t.Errorf("empirical [p10,p90] coverage = %.3f over %d intervals, want within [0.70, 0.90]",
+			rep.IntervalCoverage, rep.IntervalsScored)
+	}
+	t.Logf("calibration: coverage %.3f over %d intervals", rep.IntervalCoverage, rep.IntervalsScored)
+}
+
+// TestLegacyV1SnapshotRestore: a version-1 snapshot (PR-6 era: HBErrors /
+// FBErrors, no Families) must restore cleanly into the zoo registry — the
+// paper ensemble comes back with its windows, the new families warm up
+// empty — and keep serving.
+func TestLegacyV1SnapshotRestore(t *testing.T) {
+	legacy := &Snapshot{
+		Version: 1,
+		Paths: []PathSnapshot{{
+			Path:         "v1-path",
+			Observations: 6,
+			History:      []float64{10e6, 12e6, 11e6, 13e6, 12e6, 12.5e6},
+			FBInputs:     &FBInputsSnapshot{RTTSeconds: 0.05, LossRate: 0.001, AvailBwBps: 20e6},
+			FBAge:        2,
+			HBErrors: [][]float64{
+				{0.2, -0.1, 0.05, 0.1, -0.04},
+				{0.15, -0.12, 0.06, 0.09, -0.03},
+				{0.3, -0.2, 0.1, 0.15, -0.08},
+			},
+			FBErrors: []float64{0.5, 0.4},
+		}},
+	}
+
+	// Round-trip through the codec: version 1 must still decode.
+	data, err := EncodeSnapshot(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot rejected a version-1 file: %v", err)
+	}
+
+	reg := NewRegistry(Config{Shards: 1, Capacity: 8})
+	if n, err := reg.Restore(decoded); err != nil || n != 1 {
+		t.Fatalf("Restore(v1) = (%d, %v), want (1, nil)", n, err)
+	}
+	s, ok := reg.Peek("v1-path")
+	if !ok {
+		t.Fatal("v1 path missing after restore")
+	}
+	p := s.Predict()
+	if p.Observations != 6 {
+		t.Errorf("Observations = %d, want 6", p.Observations)
+	}
+	// The paper ensemble's windows came back verbatim.
+	for i, st := range p.HB {
+		if st.ErrorCount != len(legacy.Paths[0].HBErrors[i]) {
+			t.Errorf("%s ErrorCount = %d, want %d (legacy window)", st.Name, st.ErrorCount, len(legacy.Paths[0].HBErrors[i]))
+		}
+	}
+	if p.FB == nil || p.FB.ErrorCount != 2 {
+		t.Fatalf("FB state not restored from legacy FBErrors: %+v", p.FB)
+	}
+	// The zoo is live: new families exist and keep learning from traffic.
+	if len(p.Families) != 7 {
+		t.Fatalf("restored session runs %d families, want the full zoo of 7", len(p.Families))
+	}
+	s.Observe(12e6)
+	s.Observe(12.2e6)
+	p2 := s.Predict()
+	if p2.Family == "" {
+		t.Error("no tournament winner after post-restore traffic")
+	}
+
+	// A never-written version must still be rejected.
+	if _, err := NewRegistry(Config{Shards: 1, Capacity: 8}).Restore(&Snapshot{Version: 99}); err == nil {
+		t.Error("Restore accepted snapshot version 99")
+	}
+}
+
+// TestSnapshotZooFamiliesFinite mirrors the PR-2 Holt-Winters clamp fix
+// at the zoo level: after a collapsing series (HW goes negative, raw
+// relative errors blow up toward ±Inf) every family's serialized error
+// window — and the regression/ECM model state — must still be finite JSON.
+func TestSnapshotZooFamiliesFinite(t *testing.T) {
+	reg := NewRegistry(Config{Shards: 1, Capacity: 8})
+	s := reg.GetOrCreate("falling")
+	in := predict.FBInputs{RTT: 0.0001, LossRate: 0, AvailBw: math.MaxFloat64 / 2}
+	for _, x := range []float64{1e12, 1e8, 1e6, 1e4, 1e4, 1e4} {
+		s.SetMeasurement(in)
+		s.Observe(x)
+	}
+	snap := reg.Snapshot()
+	for _, ps := range snap.Paths {
+		for _, fs := range ps.Families {
+			for _, e := range fs.Errors {
+				if math.IsInf(e, 0) || math.IsNaN(e) {
+					t.Fatalf("family %s window holds non-finite error %v", fs.Name, e)
+				}
+			}
+		}
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("zoo snapshot with extreme inputs does not marshal: %v", err)
+	}
+	// And it restores: the serialized regression/ECM state is valid.
+	decoded := &Snapshot{}
+	if err := json.Unmarshal(data, decoded); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := NewRegistry(Config{Shards: 1, Capacity: 8})
+	if _, err := reg2.Restore(decoded); err != nil {
+		t.Fatalf("restore of extreme-input snapshot failed: %v", err)
+	}
+	s2, _ := reg2.Peek("falling")
+	p := s2.Predict()
+	for _, f := range p.Families {
+		for _, v := range []float64{f.ForecastBps, f.P10Bps, f.P50Bps, f.P90Bps, f.RMSRE} {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("family %s serves non-finite value %v after restore", f.Name, v)
+			}
+		}
+	}
+}
+
+// TestSelectionCountsSurface: the daemon's /v1/stats must expose how often
+// each family won the tournament, and the totals must add up to the
+// predict responses that had a winner.
+func TestSelectionCountsSurface(t *testing.T) {
+	srv := NewServer(Config{Shards: 2, Capacity: 32})
+	series := SyntheticSeries(2, 30, 3)
+	for _, ps := range series {
+		sess := srv.Registry().GetOrCreate(ps.Path)
+		for i, x := range ps.Throughputs {
+			sess.SetMeasurement(ps.Inputs[i])
+			sess.Observe(x)
+			p := sess.Predict()
+			if p.Family != "" {
+				srv.Metrics().recordSelection(p.Family)
+			}
+		}
+	}
+	counts := srv.Metrics().SelectionCounts()
+	if len(counts) != 7 {
+		t.Fatalf("SelectionCounts has %d families, want 7: %v", len(counts), counts)
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no selections recorded over 60 predicts")
+	}
+}

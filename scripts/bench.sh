@@ -16,7 +16,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-GATE='BenchmarkEngineEvents,BenchmarkTCPTransfer,BenchmarkHWLSOObserve'
+GATE='BenchmarkEngineEvents,BenchmarkTCPTransfer,BenchmarkHWLSOObserve,BenchmarkRegressionObserve,BenchmarkECMObserve'
 MAX_REGRESS=25
 
 short=0
@@ -54,7 +54,7 @@ if [ "$short" = 1 ]; then
     # CI mode: the hot-path benches only (the figure benches need a multi-
     # second dataset collection), one pass, reduced benchtime.
     echo "==> go test -bench (short)"
-    go test -bench 'BenchmarkEngineEvents|BenchmarkEngineSchedCancel|BenchmarkPacketPath|BenchmarkQueueForwarding|BenchmarkTCPTransfer|BenchmarkHWLSOObserve|BenchmarkPFTK' \
+    go test -bench 'BenchmarkEngineEvents|BenchmarkEngineSchedCancel|BenchmarkPacketPath|BenchmarkQueueForwarding|BenchmarkTCPTransfer|BenchmarkHWLSOObserve|BenchmarkPFTK|BenchmarkRegressionObserve|BenchmarkECMObserve' \
         -benchmem -benchtime 0.3s -run '^$' -count 1 . | tee "$tmp/bench.txt"
     go run ./cmd/benchjson parse -label short <"$tmp/bench.txt" >"$tmp/new.json"
     if [ -n "$latest" ]; then

@@ -78,7 +78,7 @@ single_pid=$!
 pids="$single_pid"
 wait_ready "127.0.0.1:$P0"
 "$tmp/predload" -addr "127.0.0.1:$P0" -seed "$SEED" -paths "$PATHS" -epochs "$EPOCHS" \
-    >"$tmp/single.out" 2>&1
+    -quantiles >"$tmp/single.out" 2>&1
 stop_node "$single_pid" "$tmp/single.log"
 pids=""
 
@@ -93,7 +93,7 @@ pids="$a_pid $b_pid"
 wait_ready "127.0.0.1:$P1"
 wait_ready "127.0.0.1:$P2"
 "$tmp/predload" -cluster "127.0.0.1:$P1,127.0.0.1:$P2" -batch \
-    -seed "$SEED" -paths "$PATHS" -epochs "$EPOCHS" >"$tmp/cluster.out" 2>&1
+    -seed "$SEED" -paths "$PATHS" -epochs "$EPOCHS" -quantiles >"$tmp/cluster.out" 2>&1
 
 # (b) disjoint coverage, read before shutdown while both nodes serve.
 paths_a=$(paths_of "127.0.0.1:$P1")
@@ -121,7 +121,18 @@ stop_node "$a_pid" "$tmp/node-a.log"
 stop_node "$b_pid" "$tmp/node-b.log"
 pids=""
 
-# (a) digest equality across deployment shapes.
+# (a) digest equality across deployment shapes. The predict responses
+# carry the quantile interval and selected family, so the digest gates
+# the full uncertainty surface; -quantiles additionally scores coverage,
+# which must be reported (and, being a pure function of the responses,
+# identical) in both runs.
+for out in "$tmp/single.out" "$tmp/cluster.out"; do
+    grep -q 'coverage' "$out" || {
+        echo "FAIL: no interval-coverage report in $out — quantiles missing from predict responses" >&2
+        cat "$out" >&2
+        exit 1
+    }
+done
 single_digest=$(digest_of "$tmp/single.out")
 cluster_digest=$(digest_of "$tmp/cluster.out")
 [ -n "$single_digest" ] || { echo "no digest in reference output" >&2; cat "$tmp/single.out" >&2; exit 1; }

@@ -140,6 +140,60 @@ func WithLSOConfig(inner HBPredictor, cfg LSOConfig) HBPredictor {
 	return predict.NewLSO(inner, cfg)
 }
 
+// Quantiles is a p10/p50/p90 interval forecast of throughput (bits/s):
+// the point forecast plus an uncertainty band derived from the
+// predictor's recent Eq.-4 relative errors.
+type Quantiles = predict.Quantiles
+
+// QuantilePredictor is implemented by predictors that forecast an
+// interval, not just a point — see WithQuantiles and NewECMPredictor.
+type QuantilePredictor = predict.QuantilePredictor
+
+// WithQuantiles wraps an HB predictor so its point forecasts carry a
+// [p10,p90] interval from the empirical quantiles of its last `window`
+// relative errors (0 picks the default 50).
+func WithQuantiles(inner HBPredictor, window int) *predict.ResidualQuantile {
+	return predict.NewResidualQuantile(inner, window, 0)
+}
+
+// RegressionConfig configures the online feature regression predictor.
+type RegressionConfig = predict.RegressionConfig
+
+// RegressionPredictor forecasts throughput by online least-squares over
+// path features (RTT, loss, avail-bw, recent history) — the
+// measurement-conditioned family in the direction of Vazhkudai & Schopf.
+// Call SetFeatures with fresh measurements before Predict/Observe.
+type RegressionPredictor = predict.Regression
+
+// NewRegressionPredictor returns an online feature-regression predictor.
+func NewRegressionPredictor(cfg RegressionConfig) *RegressionPredictor {
+	return predict.NewRegression(cfg)
+}
+
+// ECMConfig configures the empirical conditional method predictor.
+type ECMConfig = predict.ECMConfig
+
+// ECMPredictor forecasts throughput from the empirical conditional
+// distribution of past throughputs whose pre-flow measurements fell in
+// the same bucket; its quantiles are native, not residual-derived. Call
+// SetConditions with fresh measurements before Predict/Observe.
+type ECMPredictor = predict.ECM
+
+// NewECMPredictor returns an empirical-conditional-method predictor.
+func NewECMPredictor(cfg ECMConfig) *ECMPredictor { return predict.NewECM(cfg) }
+
+// SwitcherConfig configures the stability-aware switcher: the coefficient
+// of variation threshold separating stable from volatile regimes, and the
+// window it is computed over.
+type SwitcherConfig = predict.SwitcherConfig
+
+// NewStabilitySwitcher returns an HB predictor that routes between a
+// stable-regime and a volatile-regime inner predictor on the recent
+// coefficient of variation of the throughput series (Sun et al. style).
+func NewStabilitySwitcher(stable, volatile HBPredictor, cfg SwitcherConfig) HBPredictor {
+	return predict.NewStabilitySwitcher(stable, volatile, cfg)
+}
+
 // RunConfig configures a measurement campaign on the simulated RON-style
 // testbed: path catalog, traces per path, epochs per trace, parallelism,
 // retries, and an optional progress Observer.
