@@ -71,6 +71,10 @@ func main() {
 
 		quantiles = flag.Bool("quantiles", false, "score the daemon's [p10,p90] interval forecasts against the actuals and report empirical coverage (nominal 0.8)")
 
+		startEpoch    = flag.Int("start-epoch", 0, "replay only epoch indices >= this (phase-split runs around a resize)")
+		pace          = flag.Duration("pace", 0, "pause per worker between epoch rounds, stretching the replay so restarts land mid-load")
+		retryDeadline = flag.Duration("retry-deadline", 0, "how long one request retries through 429/5xx/connection-refused before failing the run (default 30s)")
+
 		bench = flag.Bool("bench", false, "after the replay, report per-endpoint service time (ns/observe etc.) from the daemon's /debug/vars latency histograms")
 	)
 	flag.Parse()
@@ -115,11 +119,14 @@ func main() {
 	}
 
 	lcfg := predsvc.LoadConfig{
-		BaseURL:      base,
-		Cluster:      nodes,
-		BatchObserve: *batchMode,
-		Workers:      *workers,
-		Quantiles:    *quantiles,
+		BaseURL:       base,
+		Cluster:       nodes,
+		BatchObserve:  *batchMode,
+		Workers:       *workers,
+		Quantiles:     *quantiles,
+		StartEpoch:    *startEpoch,
+		EpochPause:    *pace,
+		RetryDeadline: *retryDeadline,
 	}
 	if len(nodes) > 0 {
 		log.Printf("predload: routing paths across %d nodes by rendezvous hash", len(nodes))

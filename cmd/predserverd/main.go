@@ -16,7 +16,16 @@
 // rather than fatal. -chaos enables seeded fault injection against those
 // defenses: snapshot writes fail half the time, X-Chaos-Panic requests
 // panic inside a handler, and ~10% of requests stall 5ms in-handler so a
-// tight -max-inflight genuinely sheds.
+// tight -max-inflight genuinely sheds. -chaos-handoff kills the first
+// session handoff (export and import) mid-transfer to prove a retried
+// rebalance converges.
+//
+// For cluster operation the daemon serves /healthz (process up) and
+// /readyz (wants traffic) outside the load-shedding middleware; SIGTERM
+// flips /readyz to 503 (optionally holding it there for -drain-delay),
+// lets in-flight requests finish, then writes the final snapshot. The
+// /v1/sessions/{export,import,drop} endpoints implement checksummed
+// shard handoff; drive them with predctl rebalance.
 //
 // Observability is on by default (disable with -no-obs): the listener
 // also serves /metrics (Prometheus text exposition of every service
@@ -69,6 +78,8 @@ func main() {
 		requestTO   = flag.Duration("request-timeout", 0, "per-request deadline (0 = default 15s, negative = off)")
 		chaosMode   = flag.Bool("chaos", false, "seeded fault injection: snapshot writes fail ~50% of the time, X-Chaos-Panic requests panic in-handler")
 		chaosSeed   = flag.Int64("chaos-seed", 1, "fault-injection seed for -chaos")
+		chaosHand   = flag.Bool("chaos-handoff", false, "kill the first session handoff mid-transfer: the 6th exported record aborts the stream and the 6th imported record 500s, so only a retried pass can complete")
+		drainDelay  = flag.Duration("drain-delay", 0, "extra time /readyz advertises draining before connections close on shutdown (lets cluster clients re-probe)")
 
 		noObs    = flag.Bool("no-obs", false, "disable the observability endpoints (/metrics, /debug/pprof/, /debug/trace)")
 		obsSpans = flag.Int("obs-spans", obs.DefaultSpanCapacity, "completed request spans retained for /debug/trace")
@@ -96,9 +107,11 @@ func main() {
 		ReadHeaderTimeout: *readHdrTO,
 		RequestTimeout:    *requestTO,
 		SpillDir:          *spillDir,
+		DrainDelay:        *drainDelay,
 	}
+	var faultRules []faultinject.Rule
 	if *chaosMode {
-		cfg.Faults = faultinject.New(*chaosSeed,
+		faultRules = append(faultRules,
 			faultinject.Rule{Site: predsvc.SiteSnapshotWrite, Probability: 0.5},
 			faultinject.Rule{Site: predsvc.SiteHandlerPanic, Every: 1},
 			// Pure slowdown (no error): ~10% of requests stall in-handler
@@ -107,6 +120,19 @@ func main() {
 			faultinject.Rule{Site: predsvc.SiteHandlerDelay, Probability: 0.1, Delay: 5 * time.Millisecond},
 		)
 		log.Printf("predserverd: CHAOS MODE (seed %d): injecting snapshot write failures, handler panics and 5ms handler stalls", *chaosSeed)
+	}
+	if *chaosHand {
+		// Deterministic mid-transfer kill for the resize gate: the first
+		// handoff pass dies partway through both directions, and only an
+		// idempotent retry (import is last-writer-wins) can finish the move.
+		faultRules = append(faultRules,
+			faultinject.Rule{Site: predsvc.SiteHandoffExport, Every: 1, After: 5, Times: 1, Err: fmt.Errorf("chaos: export stream killed mid-transfer")},
+			faultinject.Rule{Site: predsvc.SiteHandoffImport, Every: 1, After: 5, Times: 1, Err: fmt.Errorf("chaos: import killed mid-batch")},
+		)
+		log.Printf("predserverd: CHAOS-HANDOFF (seed %d): first export aborts after 5 records, first import 500s after 5 records", *chaosSeed)
+	}
+	if len(faultRules) > 0 {
+		cfg.Faults = faultinject.New(*chaosSeed, faultRules...)
 	}
 	srv, err := predsvc.Open(cfg)
 	if err != nil {

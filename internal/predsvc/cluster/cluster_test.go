@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -62,6 +63,87 @@ func TestMinimalDisruption(t *testing.T) {
 	}
 	if moved == 0 {
 		t.Fatal("no paths were owned by the removed node — balance test should have caught this")
+	}
+}
+
+// TestChurnOnlyReassignedPathsMove is the property test behind cluster
+// resizes: across a random sequence of joins and leaves, a path changes
+// owner only when the change forces it — its owner left, or it is
+// claimed by the node that just joined. Any other movement would mean a
+// resize shuffles state that never needed to move, and the handoff
+// protocol would ship (and clients would re-route) far more than the
+// minimal set.
+func TestChurnOnlyReassignedPathsMove(t *testing.T) {
+	const (
+		paths  = 2000
+		steps  = 60
+		trials = 3
+	)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		// Start from a mid-sized membership so both joins and leaves are
+		// immediately possible.
+		live := map[string]bool{"n0": true, "n1": true, "n2": true}
+		next := 3
+		nodesOf := func() []string {
+			out := make([]string, 0, len(live))
+			for n := range live {
+				out = append(out, n)
+			}
+			return out
+		}
+		owner := make(map[string]string, paths)
+		m := New(nodesOf()...)
+		for i := 0; i < paths; i++ {
+			p := fmt.Sprintf("path-%d", i)
+			owner[p] = m.Node(p)
+		}
+		for step := 0; step < steps; step++ {
+			join := len(live) == 1 || (len(live) < 8 && rng.Intn(2) == 0)
+			var changed string
+			if join {
+				changed = fmt.Sprintf("n%d", next)
+				next++
+				live[changed] = true
+			} else {
+				names := nodesOf()
+				changed = names[rng.Intn(len(names))]
+				delete(live, changed)
+			}
+			m = New(nodesOf()...)
+			moved := 0
+			for i := 0; i < paths; i++ {
+				p := fmt.Sprintf("path-%d", i)
+				was, now := owner[p], m.Node(p)
+				if was != now {
+					moved++
+					switch {
+					case join && now != changed:
+						t.Fatalf("trial %d step %d (join %s): %s moved %s → %s, but only the joining node may claim paths",
+							trial, step, changed, p, was, now)
+					case !join && was != changed:
+						t.Fatalf("trial %d step %d (leave %s): %s moved %s → %s though its owner survived",
+							trial, step, changed, p, was, now)
+					}
+					owner[p] = now
+				} else if !join && was == changed {
+					t.Fatalf("trial %d step %d: %s still owned by departed node %s", trial, step, p, changed)
+				}
+			}
+			// A membership change with zero movement means the new/old node
+			// owned nothing — statistically impossible at 2000 paths unless
+			// the hash is degenerate.
+			if moved == 0 {
+				t.Fatalf("trial %d step %d (%s, join=%v): no paths moved across a membership change",
+					trial, step, changed, join)
+			}
+			// And movement must stay near the fair share: a join to N nodes
+			// should claim ~paths/N, never the majority of all paths.
+			if moved > paths/2 && len(live) > 2 {
+				t.Fatalf("trial %d step %d: %d/%d paths moved — far beyond the reassigned set",
+					trial, step, moved, paths)
+			}
+		}
 	}
 }
 

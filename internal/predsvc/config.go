@@ -121,6 +121,13 @@ type Config struct {
 	// (default 1024; negative disables shedding).
 	MaxInFlight int
 
+	// DrainDelay is how long Serve keeps the listener accepting after
+	// /readyz flips to 503 on shutdown, giving cluster clients a probe
+	// cycle to stop routing here before connections start closing
+	// (default 0: drain immediately; rolling restarts in scripts use a
+	// short delay).
+	DrainDelay time.Duration
+
 	// SnapshotRetryMin/Max bound the exponential backoff between retries
 	// of a failed snapshot write (defaults 250ms / 15s).
 	SnapshotRetryMin time.Duration

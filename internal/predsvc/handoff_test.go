@@ -1,0 +1,380 @@
+package predsvc
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/predsvc/cluster"
+)
+
+// handoffPair spins up two in-process servers and seeds the first with
+// paths carrying a few observations each.
+func handoffPair(t *testing.T, srcCfg, dstCfg Config) (src, dst *Server, srcURL, dstURL string) {
+	t.Helper()
+	src = NewServer(srcCfg)
+	dst = NewServer(dstCfg)
+	tsSrc := httptest.NewServer(src.Handler())
+	tsDst := httptest.NewServer(dst.Handler())
+	t.Cleanup(tsSrc.Close)
+	t.Cleanup(tsDst.Close)
+	return src, dst, tsSrc.URL, tsDst.URL
+}
+
+func seedPaths(t *testing.T, url string, n, obs int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		for j := 0; j < obs; j++ {
+			resp, data := postJSON(t, url+"/v1/observe",
+				fmt.Sprintf(`{"path":"h%03d","throughput_bps":%g}`, i, 1e7+float64(i*obs+j)*1e4))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("seed observe: %d %s", resp.StatusCode, data)
+			}
+		}
+	}
+}
+
+// predictBodies captures the raw /v1/predict response per path — the
+// byte-identical currency the handoff must preserve.
+func predictBodies(t *testing.T, url string, paths []string) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(paths))
+	for _, p := range paths {
+		resp, data := getJSON(t, url+"/v1/predict?path="+p)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %s: %d %s", p, resp.StatusCode, data)
+		}
+		out[p] = string(data)
+	}
+	return out
+}
+
+// TestRebalanceMovesEverySession: a node leaving the cluster (absent from
+// To) hands every session to the survivor, with predictor state preserved
+// to the byte and the source left empty.
+func TestRebalanceMovesEverySession(t *testing.T) {
+	src, dst, srcURL, dstURL := handoffPair(t, Config{}, Config{})
+	const paths = 40
+	seedPaths(t, srcURL, paths, 4)
+	want := predictBodies(t, srcURL, src.Registry().Paths())
+
+	rep, err := Rebalance(context.Background(), RebalanceConfig{
+		From: []string{srcURL},
+		To:   []string{dstURL},
+	})
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if rep.Moved != paths || rep.Imported != paths || rep.Skipped != 0 || rep.Dropped != paths || rep.Retries != 0 {
+		t.Fatalf("report %+v, want %d moved+imported+dropped, no skips/retries", rep, paths)
+	}
+	if n := src.Registry().Len(); n != 0 {
+		t.Fatalf("source still holds %d sessions after drop", n)
+	}
+	if n := dst.Registry().Len(); n != paths {
+		t.Fatalf("destination holds %d sessions, want %d", n, paths)
+	}
+	for p, body := range predictBodies(t, dstURL, dst.Registry().Paths()) {
+		if body != want[p] {
+			t.Fatalf("prediction for %s changed across handoff:\n  src %s\n  dst %s", p, want[p], body)
+		}
+	}
+	m := dst.Metrics().Snapshot()
+	if m.HandoffImported != paths {
+		t.Fatalf("destination handoff_imported = %d, want %d", m.HandoffImported, paths)
+	}
+}
+
+// TestRebalanceRetriesExportKill: a mid-transfer kill of the export
+// stream (no trailer) voids the attempt; the orchestrator's retry
+// completes the move with nothing lost or doubled.
+func TestRebalanceRetriesExportKill(t *testing.T) {
+	srcCfg := Config{Faults: faultinject.New(1, faultinject.Rule{
+		Site: SiteHandoffExport, Every: 1, After: 5, Times: 1,
+	})}
+	src, dst, srcURL, dstURL := handoffPair(t, srcCfg, Config{})
+	const paths = 24
+	seedPaths(t, srcURL, paths, 3)
+	want := predictBodies(t, srcURL, src.Registry().Paths())
+
+	rep, err := Rebalance(context.Background(), RebalanceConfig{
+		From: []string{srcURL},
+		To:   []string{dstURL},
+	})
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("export kill did not force a retry — the fault never fired")
+	}
+	if rep.Moved != paths || src.Registry().Len() != 0 || dst.Registry().Len() != paths {
+		t.Fatalf("after retry: report %+v, src=%d dst=%d; want all %d moved",
+			rep, src.Registry().Len(), dst.Registry().Len(), paths)
+	}
+	for p, body := range predictBodies(t, dstURL, dst.Registry().Paths()) {
+		if body != want[p] {
+			t.Fatalf("prediction for %s corrupted by the killed-and-retried export", p)
+		}
+	}
+}
+
+// TestRebalanceRetriesImportFault: the first import 500s mid-batch with a
+// prefix applied; the retried pass skips that prefix via last-writer-wins
+// and lands the rest — idempotence under partial application.
+func TestRebalanceRetriesImportFault(t *testing.T) {
+	dstCfg := Config{Faults: faultinject.New(1, faultinject.Rule{
+		Site: SiteHandoffImport, Every: 1, After: 5, Times: 1,
+	})}
+	src, dst, srcURL, dstURL := handoffPair(t, Config{}, dstCfg)
+	const paths = 24
+	seedPaths(t, srcURL, paths, 3)
+
+	rep, err := Rebalance(context.Background(), RebalanceConfig{
+		From: []string{srcURL},
+		To:   []string{dstURL},
+	})
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("import fault did not force a retry")
+	}
+	if rep.Skipped != 5 || rep.Imported != paths-5 {
+		t.Fatalf("report %+v: want the 5 pre-fault records skipped on retry and %d imported", rep, paths-5)
+	}
+	if src.Registry().Len() != 0 || dst.Registry().Len() != paths {
+		t.Fatalf("src=%d dst=%d after retried import, want 0/%d",
+			src.Registry().Len(), dst.Registry().Len(), paths)
+	}
+	for _, p := range dst.Registry().Paths() {
+		sess, _ := dst.Registry().Peek(p)
+		if sess.Observations() != 3 {
+			t.Fatalf("path %s has %d observations after retry, want 3 (no double-count, no loss)",
+				p, sess.Observations())
+		}
+	}
+}
+
+// TestImportLastWriterWins: a record lands only with strictly more
+// observations than the resident session — stale and equal-age records
+// skip, newer ones replace.
+func TestImportLastWriterWins(t *testing.T) {
+	_, dst, _, dstURL := handoffPair(t, Config{}, Config{})
+
+	// Resident session: 5 observations.
+	for i := 0; i < 5; i++ {
+		postJSON(t, dstURL+"/v1/observe", `{"path":"p","throughput_bps":1e7}`)
+	}
+	mkRecord := func(obs int) []HandoffRecord {
+		donor := NewServer(Config{})
+		sess := donor.Registry().GetOrCreate("p")
+		for i := 0; i < obs; i++ {
+			sess.Observe(2e7)
+		}
+		state, err := json.Marshal(sess.snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(state)
+		return []HandoffRecord{{
+			Path:         "p",
+			Observations: sess.Observations(),
+			State:        state,
+			Sum:          hex.EncodeToString(sum[:]),
+		}}
+	}
+	hc := &http.Client{}
+	for _, tc := range []struct {
+		obs                   int
+		wantImported, wantObs int
+	}{
+		{obs: 3, wantImported: 0, wantObs: 5}, // stale: skip
+		{obs: 5, wantImported: 0, wantObs: 5}, // tie: skip (>= keeps resident)
+		{obs: 8, wantImported: 1, wantObs: 8}, // newer: replace wholesale
+	} {
+		imp, skp, err := importSessions(context.Background(), hc, dstURL, mkRecord(tc.obs))
+		if err != nil {
+			t.Fatalf("import (%d obs): %v", tc.obs, err)
+		}
+		if imp != tc.wantImported || imp+skp != 1 {
+			t.Fatalf("import (%d obs): imported=%d skipped=%d, want imported=%d", tc.obs, imp, skp, tc.wantImported)
+		}
+		sess, _ := dst.Registry().Peek("p")
+		if got := int(sess.Observations()); got != tc.wantObs {
+			t.Fatalf("import (%d obs): resident has %d observations, want %d — LWW must replace, never merge",
+				tc.obs, got, tc.wantObs)
+		}
+	}
+}
+
+// TestImportRejectsCorruptStreams: missing trailers, count mismatches and
+// checksum damage are all 400s — an importer never trusts a stream it
+// cannot verify.
+func TestImportRejectsCorruptStreams(t *testing.T) {
+	_, _, _, dstURL := handoffPair(t, Config{}, Config{})
+
+	donor := NewServer(Config{})
+	sess := donor.Registry().GetOrCreate("q")
+	sess.Observe(1e7)
+	state, _ := json.Marshal(sess.snapshot())
+	sum := sha256.Sum256(state)
+	rec, _ := json.Marshal(HandoffRecord{
+		Path: "q", Observations: 1, State: state, Sum: hex.EncodeToString(sum[:]),
+	})
+	goodTrailer, _ := json.Marshal(HandoffRecord{
+		Trailer: true, Count: 1, Sum: func() string {
+			h := sha256.New()
+			h.Write(sum[:])
+			return hex.EncodeToString(h.Sum(nil))
+		}(),
+	})
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"no trailer", append(append([]byte{}, rec...), '\n')},
+		{"trailer count mismatch", []byte(string(rec) + "\n" + `{"trailer":true,"count":7,"sum":"00"}` + "\n")},
+		{"trailer chain mismatch", []byte(string(rec) + "\n" + `{"trailer":true,"count":1,"sum":"deadbeef"}` + "\n")},
+		{"record checksum mismatch", []byte(string(bytes.Replace(rec, []byte(`"sum":"`), []byte(`"sum":"00`), 1)) + "\n" + string(goodTrailer) + "\n")},
+	}
+	for _, tc := range cases {
+		resp, data := postJSON(t, dstURL+"/v1/sessions/import", string(tc.body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (%s), want 400", tc.name, resp.StatusCode, data)
+		}
+	}
+	// The intact stream still lands, proving the fixture itself is valid.
+	resp, data := postJSON(t, dstURL+"/v1/sessions/import", string(rec)+"\n"+string(goodTrailer)+"\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid stream rejected: %d %s", resp.StatusCode, data)
+	}
+}
+
+// TestSessionsDropOnlyDisowned: drop removes exactly the paths the
+// supplied map assigns elsewhere, and a repeat finds nothing.
+func TestSessionsDropOnlyDisowned(t *testing.T) {
+	src, _, srcURL, _ := handoffPair(t, Config{}, Config{})
+	const paths = 60
+	seedPaths(t, srcURL, paths, 1)
+
+	view, _ := json.Marshal(ClusterViewRequest{Nodes: []string{srcURL, "http://elsewhere:1"}, Self: srcURL})
+	resp, data := postJSON(t, srcURL+"/v1/sessions/drop", string(view))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drop: %d %s", resp.StatusCode, data)
+	}
+	var dr SessionsDropResponse
+	if err := json.Unmarshal(data, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Dropped == 0 || dr.Dropped == paths {
+		t.Fatalf("dropped %d of %d — a two-node map must disown a strict subset", dr.Dropped, paths)
+	}
+	if dr.Remaining != paths-dr.Dropped || src.Registry().Len() != dr.Remaining {
+		t.Fatalf("drop accounting: %+v vs registry %d", dr, src.Registry().Len())
+	}
+	// Every survivor is one the map says we own.
+	m := cluster.New(srcURL, "http://elsewhere:1")
+	for _, p := range src.Registry().Paths() {
+		if m.Node(p) != srcURL {
+			t.Fatalf("surviving path %s is owned by %s, should have been dropped", p, m.Node(p))
+		}
+	}
+	// Idempotent: nothing left to drop.
+	_, data = postJSON(t, srcURL+"/v1/sessions/drop", string(view))
+	if err := json.Unmarshal(data, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Dropped != 0 {
+		t.Fatalf("second drop removed %d paths", dr.Dropped)
+	}
+}
+
+// TestResizeMidLoadDigestEquality is the tentpole invariant in-process: a
+// 2→3 resize halfway through a replayed load must leave the predict
+// stream byte-identical to a single node replaying the same phases, with
+// zero paths lost and every path on exactly one node.
+func TestResizeMidLoadDigestEquality(t *testing.T) {
+	const (
+		nPaths   = 24
+		epochs   = 12
+		boundary = 6
+		seed     = 5
+	)
+	// SyntheticSeries is prefix-stable: the first `boundary` epochs of the
+	// full series equal a shorter generation, so the two phases replay the
+	// exact requests of one continuous run.
+	phase1 := SyntheticSeries(nPaths, boundary, seed)
+	full := SyntheticSeries(nPaths, epochs, seed)
+
+	replay := func(t *testing.T, cfg LoadConfig, series []PathSeries) string {
+		t.Helper()
+		rep, err := Replay(context.Background(), cfg, series)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if rep.Errors > 0 {
+			t.Fatalf("replay: %d errors", rep.Errors)
+		}
+		return rep.Digest
+	}
+
+	// Reference: one node, the same two phases back to back.
+	ref := NewServer(Config{Shards: 4, Capacity: 1024})
+	refTS := httptest.NewServer(ref.Handler())
+	defer refTS.Close()
+	refD1 := replay(t, LoadConfig{BaseURL: refTS.URL, Workers: 4}, phase1)
+	refD2 := replay(t, LoadConfig{BaseURL: refTS.URL, Workers: 4, StartEpoch: boundary}, full)
+
+	// Cluster: phase 1 on two nodes, rebalance to three, phase 2 on three.
+	srvs := make([]*Server, 3)
+	urls := make([]string, 3)
+	for i := range srvs {
+		srvs[i] = NewServer(Config{Shards: 4, Capacity: 1024})
+		ts := httptest.NewServer(srvs[i].Handler())
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	d1 := replay(t, LoadConfig{Cluster: urls[:2], Workers: 4}, phase1)
+	if d1 != refD1 {
+		t.Fatalf("phase-1 digest diverged:\n  1-node %s\n  2-node %s", refD1, d1)
+	}
+	rep, err := Rebalance(context.Background(), RebalanceConfig{From: urls[:2], To: urls})
+	if err != nil {
+		t.Fatalf("rebalance 2→3: %v", err)
+	}
+	if rep.Moved == 0 {
+		t.Fatal("resize moved nothing — the new node owns no paths")
+	}
+	d2 := replay(t, LoadConfig{Cluster: urls, Workers: 4, StartEpoch: boundary}, full)
+	if d2 != refD2 {
+		t.Fatalf("phase-2 digest diverged after the resize:\n  1-node %s\n  3-node %s", refD2, d2)
+	}
+
+	// Zero lost paths, disjoint ownership, and the joiner actually serves.
+	seen := map[string]int{}
+	total := 0
+	for _, s := range srvs {
+		total += s.Registry().Len()
+		for _, p := range s.Registry().Paths() {
+			seen[p]++
+		}
+	}
+	if total != nPaths || len(seen) != nPaths {
+		t.Fatalf("cluster holds %d sessions over %d paths, want %d — paths lost or duplicated", total, len(seen), nPaths)
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Fatalf("path %s lives on %d nodes after resize", p, n)
+		}
+	}
+	if srvs[2].Registry().Len() == 0 {
+		t.Fatal("the joining node received no paths")
+	}
+}

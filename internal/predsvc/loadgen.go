@@ -1,7 +1,6 @@
 package predsvc
 
 import (
-	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -118,6 +117,21 @@ type LoadConfig struct {
 	// predict → observe per epoch) is preserved — the determinism
 	// contract of the service (default 8).
 	Workers int
+	// StartEpoch replays only epoch indices ≥ StartEpoch (default 0).
+	// With the same series, a [0,k) run followed by a [k,n) run sends the
+	// exact per-path request sequence of one [0,n) run — how a resize is
+	// driven mid-load: phase 1, rebalance, phase 2 against the new
+	// membership. Digest chains restart at the boundary, so each phase is
+	// compared against a same-phase single-node reference.
+	StartEpoch int
+	// EpochPause sleeps each worker between epoch rounds, stretching a
+	// replay's wall-clock so external events (rolling restarts) genuinely
+	// overlap the load (default 0: flat out).
+	EpochPause time.Duration
+	// RetryDeadline bounds how long one request retries through 429s,
+	// 5xxs and connection-refused before the replay fails (default 30s —
+	// long enough to ride out a node restart; negative disables retries).
+	RetryDeadline time.Duration
 	// ErrClamp bounds |E| in the client-side accuracy aggregation
 	// (default 10, as in the offline experiments).
 	ErrClamp float64
@@ -216,6 +230,18 @@ type LoadReport struct {
 	// ShedRetries counts 429 responses the client absorbed by backing off
 	// and retrying — load the daemon shed and the replay re-offered.
 	ShedRetries uint64
+	// Retries counts every backoff sleep the cluster client took (shed
+	// 429s, 5xx responses, and connection errors alike).
+	Retries uint64
+	// Failovers counts requests that hit at least one connection error —
+	// a node down or restarting — and still completed after the client
+	// probed the node back to readiness. A rolling restart that genuinely
+	// overlapped the load shows up here as a non-zero count.
+	Failovers uint64
+	// PerNode maps each node's base URL to the requests it completed —
+	// the per-node load share behind the linear-scaling claim. Single-node
+	// runs carry one entry.
+	PerNode map[string]uint64
 	// ChaosRequests / ChaosFaults count the extra fault-injected requests
 	// sent in chaos mode and how many of them ended in the intended
 	// abnormal way (aborted, hung up on, or answered 500).
@@ -237,6 +263,23 @@ func (r LoadReport) String() string {
 	if r.ShedRetries > 0 || r.ChaosRequests > 0 {
 		s += fmt.Sprintf("\nchaos: %d injected client faults (%d landed), %d shed retries",
 			r.ChaosRequests, r.ChaosFaults, r.ShedRetries)
+	}
+	if r.Retries > 0 || r.Failovers > 0 {
+		s += fmt.Sprintf("\nresilience: %d retries, %d failovers ridden out", r.Retries, r.Failovers)
+	}
+	if len(r.PerNode) > 1 {
+		nodes := make([]string, 0, len(r.PerNode))
+		for n := range r.PerNode {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		for _, n := range nodes {
+			qps := 0.0
+			if r.Duration > 0 {
+				qps = float64(r.PerNode[n]) / r.Duration.Seconds()
+			}
+			s += fmt.Sprintf("\nnode %s: %d requests → %.0f req/s", n, r.PerNode[n], qps)
+		}
 	}
 	return s
 }
@@ -271,14 +314,23 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 	// right after a replay would stall its full timeout waiting on them.
 	defer client.CloseIdleConnections()
 
-	// Cluster routing: a shared rendezvous map sends each path's requests
-	// to its owning node. Nil router = single-node mode on BaseURL.
-	var router *cluster.Map
-	if len(cfg.Cluster) > 0 {
-		router = cluster.New(cfg.Cluster...)
+	// All normal traffic goes through one shared retrying cluster client:
+	// rendezvous routing over cfg.Cluster (or the single BaseURL), capped
+	// jittered backoff on 429/5xx, and /readyz probing on connection
+	// errors — a node restarting mid-replay stalls its paths' workers
+	// briefly instead of failing the run.
+	nodes := cfg.Cluster
+	if len(nodes) == 0 {
+		nodes = []string{cfg.BaseURL}
 	}
+	cc := cluster.NewClient(cluster.ClientConfig{
+		Nodes:         nodes,
+		HTTP:          client,
+		RetryDeadline: cfg.RetryDeadline,
+	})
+	router := cc.Map()
 	baseFor := func(path string) string {
-		if router != nil {
+		if len(cfg.Cluster) > 0 {
 			return router.Node(path)
 		}
 		return cfg.BaseURL
@@ -309,7 +361,6 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 	type workerOut struct {
 		requests    uint64
 		errors      uint64
-		shedRetries uint64
 		chaosReqs   uint64
 		chaosFaults uint64
 		errs        []float64
@@ -327,7 +378,7 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 		go func(w int) {
 			defer wg.Done()
 			lw := loadWorker{
-				cfg: cfg, client: client, digests: make(map[string]string),
+				cfg: cfg, client: client, cc: cc, digests: make(map[string]string),
 				baseFor: baseFor, chaos: chaos, chaosCfg: chaosCfg, host: host,
 			}
 			// Epoch-major over this worker's paths so load interleaves
@@ -340,7 +391,7 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 					maxEpochs = n
 				}
 			}
-			for e := 0; e < maxEpochs && lw.err == nil; e++ {
+			for e := cfg.StartEpoch; e < maxEpochs && lw.err == nil; e++ {
 				for _, ps := range mine {
 					if e >= len(ps.Throughputs) {
 						continue
@@ -355,10 +406,17 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 				// observe-batch per node closes the epoch, keeping each
 				// path's observe before its next measure/predict.
 				lw.flushObserves(ctx)
+				if cfg.EpochPause > 0 && e < maxEpochs-1 && lw.err == nil {
+					select {
+					case <-ctx.Done():
+						lw.err = ctx.Err()
+					case <-time.After(cfg.EpochPause):
+					}
+				}
 			}
 			outs[w] = workerOut{
 				requests: lw.requests, errors: lw.errors,
-				shedRetries: lw.shedRetries, chaosReqs: lw.chaosRequests, chaosFaults: lw.chaosFaults,
+				chaosReqs: lw.chaosRequests, chaosFaults: lw.chaosFaults,
 				errs: lw.scored, covIn: lw.covIn, covTotal: lw.covTotal,
 				digests: lw.digests, err: lw.err,
 			}
@@ -376,7 +434,6 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 		}
 		rep.Requests += o.requests
 		rep.Errors += o.errors
-		rep.ShedRetries += o.shedRetries
 		rep.ChaosRequests += o.chaosReqs
 		rep.ChaosFaults += o.chaosFaults
 		rep.IntervalsScored += o.covTotal
@@ -421,6 +478,11 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 	if rep.Duration > 0 {
 		rep.QPS = float64(rep.Requests) / rep.Duration.Seconds()
 	}
+	cs := cc.Stats()
+	rep.ShedRetries = cs.ShedRetries
+	rep.Retries = cs.Retries
+	rep.Failovers = cs.Failovers
+	rep.PerNode = cs.Completed
 	rep.Predictions = len(allErrs)
 	if rep.IntervalsScored > 0 {
 		rep.IntervalCoverage = float64(covIn) / float64(rep.IntervalsScored)
@@ -450,7 +512,8 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 // loadWorker is one replay goroutine's state.
 type loadWorker struct {
 	cfg      LoadConfig
-	client   *http.Client
+	client   *http.Client             // raw client, for chaos traffic only
+	cc       *cluster.Client          // retrying client carrying all normal traffic
 	baseFor  func(path string) string // path → owning node's base URL
 	requests uint64
 	errors   uint64
@@ -468,7 +531,6 @@ type loadWorker struct {
 	chaos         *faultinject.Injector
 	chaosCfg      ChaosConfig
 	host          string
-	shedRetries   uint64
 	chaosRequests uint64
 	chaosFaults   uint64
 }
@@ -614,7 +676,7 @@ func (lw *loadWorker) post(ctx context.Context, base, path string, body, out any
 		lw.err = err
 		return
 	}
-	lw.do(ctx, http.MethodPost, base+path, data, out)
+	lw.do(ctx, http.MethodPost, base, path, data, out)
 }
 
 // get performs a GET and returns the raw body on HTTP 200 (nil otherwise),
@@ -623,63 +685,31 @@ func (lw *loadWorker) get(ctx context.Context, base, path string, out any) []byt
 	if lw.err != nil {
 		return nil
 	}
-	return lw.do(ctx, http.MethodGet, base+path, nil, out)
+	return lw.do(ctx, http.MethodGet, base, path, nil, out)
 }
 
-// do issues one request, transparently retrying 429 (load-shed) responses
-// with capped exponential backoff. The worker blocks until the request is
-// accepted, so per-path request order — the determinism contract — is
-// preserved even when the daemon sheds aggressively.
-func (lw *loadWorker) do(ctx context.Context, method, url string, body []byte, out any) []byte {
-	backoff := time.Millisecond
-	for {
-		var rd io.Reader
-		if body != nil {
-			rd = bytes.NewReader(body)
-		}
-		req, err := http.NewRequestWithContext(ctx, method, url, rd)
-		if err != nil {
-			lw.err = err
-			return nil
-		}
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-		resp, err := lw.client.Do(req)
-		if err != nil {
-			lw.err = err
-			return nil
-		}
-		lw.requests++
-		data, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			lw.err = err
-			return nil
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			lw.shedRetries++
-			select {
-			case <-ctx.Done():
-				lw.err = ctx.Err()
-				return nil
-			case <-time.After(backoff):
-			}
-			if backoff *= 2; backoff > 50*time.Millisecond {
-				backoff = 50 * time.Millisecond
-			}
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			lw.errors++
-			return nil
-		}
-		if out != nil {
-			if err := json.Unmarshal(data, out); err != nil {
-				lw.err = fmt.Errorf("predsvc: bad %s response: %w", req.URL.Path, err)
-				return nil
-			}
-		}
-		return data
+// do issues one request through the retrying cluster client, which rides
+// out shed 429s, 5xx blips and node restarts with backoff and /readyz
+// probing. The worker blocks until the request lands (or the retry
+// deadline expires — the only per-node failure that still fails the
+// run), so per-path request order — the determinism contract — is
+// preserved even across a node restart.
+func (lw *loadWorker) do(ctx context.Context, method, base, path string, body []byte, out any) []byte {
+	status, data, err := lw.cc.Do(ctx, method, base, path, body)
+	if err != nil {
+		lw.err = err
+		return nil
 	}
+	lw.requests++
+	if status != http.StatusOK {
+		lw.errors++
+		return nil
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			lw.err = fmt.Errorf("predsvc: bad %s response: %w", path, err)
+			return nil
+		}
+	}
+	return data
 }

@@ -17,10 +17,13 @@ const (
 	epVars
 	epObserveBatch
 	epPredictBatch
+	epSessionsExport
+	epSessionsImport
+	epSessionsDrop
 	epCount
 )
 
-var endpointNames = [epCount]string{"observe", "measure", "predict", "stats", "debug_vars", "observe_batch", "predict_batch"}
+var endpointNames = [epCount]string{"observe", "measure", "predict", "stats", "debug_vars", "observe_batch", "predict_batch", "sessions_export", "sessions_import", "sessions_drop"}
 
 // histBuckets is the number of exponential latency buckets: bucket i
 // counts requests with latency < 2^i microseconds; the last bucket is a
@@ -127,6 +130,15 @@ type Metrics struct {
 	snapshotFailures atomic.Uint64
 	stalePredictions atomic.Uint64
 
+	// Handoff counters: sessions streamed out by /v1/sessions/export,
+	// applied by /v1/sessions/import, skipped by import's last-writer-wins
+	// check (the resident session had at least as many observations — the
+	// idempotent-retry path), and deleted by /v1/sessions/drop.
+	handoffExported atomic.Uint64
+	handoffImported atomic.Uint64
+	handoffSkipped  atomic.Uint64
+	handoffDropped  atomic.Uint64
+
 	// Tournament selection counters: how many predict responses each
 	// family won. familyNames is installed once at server construction
 	// (every session runs the same zoo); a bare Metrics without names
@@ -199,6 +211,10 @@ type MetricsSnapshot struct {
 	SnapshotRetries  uint64             `json:"snapshot_retries"`
 	SnapshotFailures uint64             `json:"snapshot_failures"`
 	StalePredictions uint64             `json:"stale_predictions"`
+	HandoffExported  uint64             `json:"handoff_exported"`
+	HandoffImported  uint64             `json:"handoff_imported"`
+	HandoffSkipped   uint64             `json:"handoff_skipped"`
+	HandoffDropped   uint64             `json:"handoff_dropped"`
 	FamilySelections map[string]uint64  `json:"family_selections,omitempty"`
 	Endpoints        []EndpointSnapshot `json:"endpoints"`
 }
@@ -215,6 +231,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SnapshotRetries:  m.snapshotRetries.Load(),
 		SnapshotFailures: m.snapshotFailures.Load(),
 		StalePredictions: m.stalePredictions.Load(),
+		HandoffExported:  m.handoffExported.Load(),
+		HandoffImported:  m.handoffImported.Load(),
+		HandoffSkipped:   m.handoffSkipped.Load(),
+		HandoffDropped:   m.handoffDropped.Load(),
 		FamilySelections: m.SelectionCounts(),
 	}
 	for ep := endpoint(0); ep < epCount; ep++ {

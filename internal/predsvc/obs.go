@@ -31,6 +31,8 @@ import (
 //	predsvc_family_selected_total{family=F}       predict responses each family won
 //	predsvc_interval_coverage                     fraction of observations inside [p10,p90]
 //	predsvc_lso_shifts, predsvc_lso_outliers      LSO detections summed over live sessions
+//	predsvc_ready, predsvc_draining               lifecycle gauges behind /readyz
+//	predsvc_handoff_*_total                       shard-handoff traffic (export/import/skip/drop)
 //
 // NewServer calls this automatically when Config.Obs is set; it is
 // exported for callers that mount a server behind their own Obs.
@@ -59,10 +61,32 @@ func (r *Server) RegisterObsMetrics(m *obs.Registry) {
 		{"predsvc_snapshot_retries_total", "snapshot write backoff retries", &r.metrics.snapshotRetries},
 		{"predsvc_snapshot_failures_total", "failed snapshot write attempts", &r.metrics.snapshotFailures},
 		{"predsvc_stale_predictions_total", "predict responses whose FB forecast was stale", &r.metrics.stalePredictions},
+		{"predsvc_handoff_exported_total", "sessions streamed out by /v1/sessions/export", &r.metrics.handoffExported},
+		{"predsvc_handoff_imported_total", "sessions applied by /v1/sessions/import", &r.metrics.handoffImported},
+		{"predsvc_handoff_skipped_total", "import records skipped by last-writer-wins", &r.metrics.handoffSkipped},
+		{"predsvc_handoff_dropped_total", "sessions deleted by /v1/sessions/drop after handoff", &r.metrics.handoffDropped},
 	}
 	for _, c := range counters {
 		m.CounterFunc(c.name, c.help, c.v.Load)
 	}
+
+	// Lifecycle: what /readyz answers, as scrapeable gauges — a rolling
+	// restart shows up as predsvc_ready dropping to 0 with
+	// predsvc_draining at 1 while in-flight requests finish.
+	m.GaugeFunc("predsvc_ready", "1 when the server answers /readyz with 200 (not draining, not restoring)",
+		func() float64 {
+			if r.Ready() {
+				return 1
+			}
+			return 0
+		})
+	m.GaugeFunc("predsvc_draining", "1 once BeginDrain flipped the server to draining (one-way)",
+		func() float64 {
+			if r.Draining() {
+				return 1
+			}
+			return 0
+		})
 
 	m.GaugeFunc("predsvc_paths", "paths currently registered",
 		func() float64 { return float64(r.reg.Len()) })

@@ -1,0 +1,255 @@
+package predsvc
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/predsvc/cluster"
+)
+
+// RebalanceConfig drives one cluster resize (see Rebalance).
+type RebalanceConfig struct {
+	// From is the current membership (node base URLs) — every node that
+	// may hold sessions now. Required.
+	From []string
+	// To is the new membership the cluster is resizing to. Required.
+	To []string
+	// HTTP overrides the HTTP client (default: a fresh one).
+	HTTP *http.Client
+	// Attempts caps how many times one source node's handoff pass
+	// (export → import → drop) is retried before Rebalance fails
+	// (default 5). Retries are idempotent: import is last-writer-wins,
+	// drop runs only after every import succeeded.
+	Attempts int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// RebalanceReport summarizes a Rebalance run.
+type RebalanceReport struct {
+	// Sources is how many nodes were asked to hand sessions off.
+	Sources int
+	// Moved is how many sessions the final successful passes exported.
+	Moved int
+	// Imported / Skipped split Moved by what the destinations did:
+	// installed fresh, or skipped as already present with at least as
+	// many observations (the signature of a retried pass).
+	Imported int
+	Skipped  int
+	// Dropped is how many sessions the sources deleted after handoff.
+	Dropped int
+	// Retries counts failed passes that were retried — non-zero when a
+	// mid-transfer kill (injected or real) was ridden out.
+	Retries int
+}
+
+func (r RebalanceReport) String() string {
+	return fmt.Sprintf("rebalance: %d sources, %d sessions moved (%d imported, %d skipped), %d dropped, %d retries",
+		r.Sources, r.Moved, r.Imported, r.Skipped, r.Dropped, r.Retries)
+}
+
+// Rebalance drives an N→M membership change: for every node of the old
+// membership it exports the sessions the new rendezvous map assigns
+// elsewhere, imports each one into its new owner, and only then tells
+// the source to drop them. One source's pass is atomic-by-retry rather
+// than transactional: a kill anywhere in the middle leaves the sessions
+// still owned by the source, and the retried pass re-exports them —
+// destinations skip the already-applied records via last-writer-wins,
+// so a retry never double-counts and always converges. Nodes absent
+// from To export everything they hold (leaving the cluster); nodes
+// absent From import only (joining).
+func Rebalance(ctx context.Context, cfg RebalanceConfig) (*RebalanceReport, error) {
+	if len(cfg.From) == 0 || len(cfg.To) == 0 {
+		return nil, errors.New("predsvc: rebalance needs both the old (From) and new (To) membership")
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{}
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 5
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	newMap := cluster.New(cfg.To...)
+	rep := &RebalanceReport{Sources: len(cfg.From)}
+	for _, src := range cfg.From {
+		var lastErr error
+		ok := false
+		for attempt := 1; attempt <= cfg.Attempts; attempt++ {
+			if attempt > 1 {
+				rep.Retries++
+				logf("source %s: attempt %d/%d after: %v", src, attempt, cfg.Attempts, lastErr)
+				select {
+				case <-ctx.Done():
+					return rep, ctx.Err()
+				case <-time.After(time.Duration(attempt) * 100 * time.Millisecond):
+				}
+			}
+			moved, imported, skipped, dropped, err := rebalanceOne(ctx, cfg.HTTP, src, cfg.To, newMap, logf)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			rep.Moved += moved
+			rep.Imported += imported
+			rep.Skipped += skipped
+			rep.Dropped += dropped
+			ok = true
+			break
+		}
+		if !ok {
+			return rep, fmt.Errorf("predsvc: rebalance of %s failed after %d attempts: %w", src, cfg.Attempts, lastErr)
+		}
+	}
+	return rep, nil
+}
+
+// rebalanceOne runs one source's full handoff pass: export, verify the
+// stream, import per destination, drop. Any failure aborts the pass
+// with nothing destroyed — the caller retries the whole pass.
+func rebalanceOne(ctx context.Context, hc *http.Client, src string, to []string, newMap *cluster.Map, logf func(string, ...any)) (moved, imported, skipped, dropped int, err error) {
+	view, _ := json.Marshal(ClusterViewRequest{Nodes: to, Self: src})
+	records, err := exportSessions(ctx, hc, src, view)
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("export from %s: %w", src, err)
+	}
+	logf("source %s: exported %d sessions", src, len(records))
+	// Partition by new owner and import, destinations in sorted order so
+	// a retried pass replays identically.
+	byDst := make(map[string][]HandoffRecord)
+	for _, rec := range records {
+		byDst[newMap.Node(rec.Path)] = append(byDst[newMap.Node(rec.Path)], rec)
+	}
+	dsts := make([]string, 0, len(byDst))
+	for d := range byDst {
+		dsts = append(dsts, d)
+	}
+	sort.Strings(dsts)
+	for _, dst := range dsts {
+		imp, skp, ierr := importSessions(ctx, hc, dst, byDst[dst])
+		if ierr != nil {
+			return 0, 0, 0, 0, fmt.Errorf("import into %s: %w", dst, ierr)
+		}
+		logf("source %s: imported %d (+%d already present) into %s", src, imp, skp, dst)
+		imported += imp
+		skipped += skp
+	}
+	// Every destination confirmed: only now is deleting on the source
+	// safe. Drop is idempotent, so a retry after a failed drop is fine.
+	var dres SessionsDropResponse
+	if err := handoffPost(ctx, hc, src+"/v1/sessions/drop", view, &dres); err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("drop on %s: %w", src, err)
+	}
+	logf("source %s: dropped %d sessions, %d remain", src, dres.Dropped, dres.Remaining)
+	return len(records), imported, skipped, dres.Dropped, nil
+}
+
+// exportSessions POSTs /v1/sessions/export and parses the NDJSON stream,
+// verifying every record checksum and the chained trailer. A stream cut
+// short of its trailer — a mid-transfer kill — is an error; nothing from
+// it is trusted.
+func exportSessions(ctx context.Context, hc *http.Client, src string, view []byte) ([]HandoffRecord, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, src+"/v1/sessions/export", bytes.NewReader(view))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	br := bufio.NewReader(resp.Body)
+	var records []HandoffRecord
+	chain := sha256.New()
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) == 0 && rerr != nil {
+			return nil, fmt.Errorf("truncated export stream after %d records (no trailer)", len(records))
+		}
+		var rec HandoffRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("bad export record %d: %w", len(records), err)
+		}
+		if rec.Trailer {
+			if rec.Count != len(records) {
+				return nil, fmt.Errorf("export trailer count %d, stream carried %d records", rec.Count, len(records))
+			}
+			if got := hex.EncodeToString(chain.Sum(nil)); got != rec.Sum {
+				return nil, errors.New("export stream checksum mismatch")
+			}
+			return records, nil
+		}
+		sum := sha256.Sum256(rec.State)
+		if hex.EncodeToString(sum[:]) != rec.Sum {
+			return nil, fmt.Errorf("export record %d (%s): state checksum mismatch", len(records), rec.Path)
+		}
+		chain.Write(sum[:])
+		records = append(records, rec)
+	}
+}
+
+// importSessions streams records (with a fresh chained trailer) into
+// dst's /v1/sessions/import.
+func importSessions(ctx context.Context, hc *http.Client, dst string, records []HandoffRecord) (imported, skipped int, err error) {
+	var buf bytes.Buffer
+	chain := sha256.New()
+	for _, rec := range records {
+		sum := sha256.Sum256(rec.State)
+		chain.Write(sum[:])
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return 0, 0, err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	trailer, _ := json.Marshal(HandoffRecord{Trailer: true, Count: len(records), Sum: hex.EncodeToString(chain.Sum(nil))})
+	buf.Write(trailer)
+	buf.WriteByte('\n')
+	var resp SessionsImportResponse
+	if err := handoffPost(ctx, hc, dst+"/v1/sessions/import", buf.Bytes(), &resp); err != nil {
+		return 0, 0, err
+	}
+	return resp.Imported, resp.Skipped, nil
+}
+
+// handoffPost POSTs body and decodes a 200 response into out.
+func handoffPost(ctx context.Context, hc *http.Client, url string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr apiError
+		dec := json.NewDecoder(resp.Body)
+		if dec.Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("status %s: %s", resp.Status, apiErr.Error)
+		}
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}

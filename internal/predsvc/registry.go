@@ -127,6 +127,21 @@ func (r *Registry) Peek(path string) (*Session, bool) {
 	return e.(*Session), true
 }
 
+// Delete removes path's session from every tier, reporting whether it
+// was present. Deletion is how shard handoff relinquishes a path that
+// now belongs to another node: no evict hook runs, the state is simply
+// forgotten here (the importing node owns the authoritative copy).
+func (r *Registry) Delete(path string) bool { return r.st.Delete(path) }
+
+// Install replaces path's session with one rebuilt from ps — the import
+// side of shard handoff. The previous session (if any) is deleted first;
+// restore never merges, so a retried import lands in the same state.
+func (r *Registry) Install(ps PathSnapshot) {
+	r.st.Delete(ps.Path)
+	s := r.st.GetOrCreate(ps.Path).(*Session)
+	s.restore(ps)
+}
+
 // Len returns the number of registered paths across all tiers.
 func (r *Registry) Len() int { return r.st.Len() }
 

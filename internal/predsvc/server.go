@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -30,6 +31,8 @@ const (
 	SiteSnapshotCorrupt = "snapshot.corrupt"
 	SiteHandlerPanic    = "handler.panic"
 	SiteHandlerDelay    = "handler.delay"
+	SiteHandoffExport   = "handoff.export"
+	SiteHandoffImport   = "handoff.import"
 )
 
 // ChaosPanicHeader marks a request as a chaos panic probe. It is honored
@@ -60,6 +63,12 @@ type Server struct {
 	sem     chan struct{} // in-flight request semaphore; nil = no shedding
 	tracer  *obs.Tracer   // nil unless Config.Obs is set
 	start   time.Time
+
+	// Lifecycle state behind /healthz and /readyz. notReady is set while a
+	// boot snapshot restores; draining is set by BeginDrain (SIGTERM) and
+	// never cleared — a draining server only ever exits.
+	notReady atomic.Bool
+	draining atomic.Bool
 }
 
 // NewServer builds a server with a fresh registry. It panics when
@@ -103,10 +112,28 @@ func Open(cfg Config) (*Server, error) {
 	s.mux.Handle("GET /debug/vars", s.instrument(epVars, s.handleVars))
 	s.mux.Handle("POST /v1/observe-batch", s.instrument(epObserveBatch, s.handleObserveBatch))
 	s.mux.Handle("POST /v1/predict-batch", s.instrument(epPredictBatch, s.handlePredictBatch))
+	s.mux.Handle("POST /v1/sessions/export", s.instrument(epSessionsExport, s.handleSessionsExport))
+	s.mux.Handle("POST /v1/sessions/import", s.instrument(epSessionsImport, s.handleSessionsImport))
+	s.mux.Handle("POST /v1/sessions/drop", s.instrument(epSessionsDrop, s.handleSessionsDrop))
 	if s.cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, s.cfg.MaxInFlight)
 	}
 	s.root = s.harden(s.mux)
+	// The health probes bypass the hardening middleware like the obs
+	// endpoints: a load-shedding or draining server must still answer
+	// "are you alive" (yes) and "should I route to you" (no) instantly.
+	api := s.root
+	s.root = http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Path {
+		case "/healthz":
+			writeJSON(w, http.StatusOK, healthResponse{Status: "ok"})
+			return
+		case "/readyz":
+			s.handleReadyz(w)
+			return
+		}
+		api.ServeHTTP(w, req)
+	})
 	if s.cfg.Obs != nil {
 		s.RegisterObsMetrics(s.cfg.Obs.M())
 		// The obs endpoints bypass the hardening middleware on purpose:
@@ -186,6 +213,53 @@ func (w *shieldWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so streaming handlers (the
+// session-export stream) can push records through the middleware stack.
+func (w *shieldWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status string `json:"status"`
+}
+
+// readyResponse is the /readyz body.
+type readyResponse struct {
+	Ready     bool `json:"ready"`
+	Draining  bool `json:"draining,omitempty"`
+	Restoring bool `json:"restoring,omitempty"`
+}
+
+func (r *Server) handleReadyz(w http.ResponseWriter) {
+	resp := readyResponse{
+		Draining:  r.draining.Load(),
+		Restoring: r.notReady.Load(),
+	}
+	resp.Ready = !resp.Draining && !resp.Restoring
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// BeginDrain flips the server to draining: /readyz answers 503 so
+// cluster clients stop routing here, while every other endpoint keeps
+// serving until Serve's shutdown closes the listener. Draining is
+// one-way — a draining server only ever exits. Safe to call more than
+// once.
+func (r *Server) BeginDrain() { r.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (r *Server) Draining() bool { return r.draining.Load() }
+
+// Ready reports whether the server is accepting routed traffic: not
+// draining and not restoring a boot snapshot.
+func (r *Server) Ready() bool { return !r.draining.Load() && !r.notReady.Load() }
+
 // Registry exposes the underlying path registry.
 func (r *Server) Registry() *Registry { return r.reg }
 
@@ -217,6 +291,14 @@ func (r *Server) Serve(ctx context.Context, ln net.Listener) error {
 	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case <-ctx.Done():
+		// Drain first: /readyz flips to 503 while the listener still
+		// accepts, so a cluster client probing readiness reroutes or backs
+		// off before connections start closing. DrainDelay gives it a probe
+		// cycle to notice.
+		r.BeginDrain()
+		if d := posDur(r.cfg.DrainDelay); d > 0 {
+			time.Sleep(d)
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		err := srv.Shutdown(shutdownCtx)
@@ -317,6 +399,8 @@ type RestoreStats struct {
 // dying on state it can regrow from live traffic. Only real I/O failures
 // (unreadable file, failed quarantine rename) return an error.
 func (r *Server) RestoreSnapshot(path string) (RestoreStats, error) {
+	r.notReady.Store(true)
+	defer r.notReady.Store(false)
 	var st RestoreStats
 	snap, err := ReadSnapshotFile(path)
 	switch {
@@ -497,6 +581,8 @@ type PathActivity struct {
 // (beyond the limit, or resident only in the cold tier).
 type StatsResponse struct {
 	UptimeSeconds float64         `json:"uptime_s"`
+	Ready         bool            `json:"ready"`
+	Draining      bool            `json:"draining"`
 	Paths         int             `json:"paths"`
 	Capacity      int             `json:"capacity"`
 	Shards        int             `json:"shards"`
@@ -533,6 +619,8 @@ func (r *Server) handleStats(w http.ResponseWriter, req *http.Request) int {
 	total := r.reg.Len()
 	return writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: time.Since(r.start).Seconds(),
+		Ready:         r.Ready(),
+		Draining:      r.Draining(),
 		Paths:         total,
 		Capacity:      r.reg.Capacity(),
 		Shards:        r.reg.Shards(),

@@ -98,6 +98,7 @@ func TestStoreConformance(t *testing.T) {
 			t.Run("RecencyProtects", func(t *testing.T) { testRecencyProtects(t, f) })
 			t.Run("Range", func(t *testing.T) { testRange(t, f) })
 			t.Run("Recent", func(t *testing.T) { testRecent(t, f) })
+			t.Run("Delete", func(t *testing.T) { testDelete(t, f) })
 			t.Run("SnapshotRoundTrip", func(t *testing.T) { testSnapshotRoundTrip(t, f) })
 			t.Run("LargePayload", func(t *testing.T) { testLargePayload(t, f) })
 			t.Run("Hammer", func(t *testing.T) { testHammer(t, f) })
@@ -280,6 +281,58 @@ func testRecent(t *testing.T, f factory) {
 	}
 	if st.Recent(0) != nil {
 		t.Fatal("Recent(0) must return nil")
+	}
+}
+
+// testDelete pins the handoff contract: Delete removes the entry from
+// every tier without running the evict hook, is idempotent (a second
+// delete reports absent), and a deleted path comes back fresh.
+func testDelete(t *testing.T, f factory) {
+	st := f.open(t, MemConfig{Shards: 1, Capacity: 2, New: newToy})
+	defer st.Close()
+
+	if st.Delete("nope") {
+		t.Fatal("Delete on empty store reported a hit")
+	}
+	// a, b fill the hot tier; c evicts a (to the cold tier on a retaining
+	// store, to oblivion otherwise).
+	st.GetOrCreate("a").(*toyEntry).add(1)
+	st.GetOrCreate("b").(*toyEntry).add(2)
+	st.GetOrCreate("c").(*toyEntry).add(3)
+
+	// Hot delete.
+	if !st.Delete("b") {
+		t.Fatal("Delete(b) missed a hot entry")
+	}
+	if _, ok := st.Peek("b"); ok {
+		t.Fatal("deleted hot entry still reachable")
+	}
+	if st.Delete("b") {
+		t.Fatal("second Delete(b) reported a hit; must be idempotent")
+	}
+	// Cold delete (retaining store only; a lossy store already lost a).
+	if f.retainsEvicted {
+		if !st.Delete("a") {
+			t.Fatal("Delete(a) missed a cold entry")
+		}
+		if _, ok := st.Lookup("a"); ok {
+			t.Fatal("deleted cold entry still reachable")
+		}
+		if st.Delete("a") {
+			t.Fatal("second Delete(a) reported a hit; must be idempotent")
+		}
+	}
+	want := 1 // only c remains
+	if got := st.Len(); got != want {
+		t.Fatalf("Len after deletes = %d, want %d", got, want)
+	}
+	// Deleted paths come back fresh, not with their old state.
+	if e := st.GetOrCreate("b").(*toyEntry); e.sum() != 0 {
+		t.Fatalf("recreated b carries old state (sum %v)", e.sum())
+	}
+	// A delete is not an eviction: the counter must not move.
+	if got := st.Evictions(); got != 1 {
+		t.Fatalf("Evictions after deletes = %d, want 1 (only the capacity eviction)", got)
 	}
 }
 

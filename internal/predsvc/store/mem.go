@@ -176,6 +176,22 @@ func (m *MemStore) Peek(path string) (Entry, bool) {
 	return e.Value.(*memNode).e, true
 }
 
+// Delete removes path's entry, reporting whether it was present. The
+// evict hook does not run: a delete relinquishes the entry (shard
+// handoff), it does not demote it.
+func (m *MemStore) Delete(path string) bool {
+	sh := m.shardFor(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.elems[path]
+	if !ok {
+		return false
+	}
+	sh.lru.Remove(e)
+	delete(sh.elems, path)
+	return true
+}
+
 // Len returns the number of stored entries.
 func (m *MemStore) Len() int {
 	n := 0

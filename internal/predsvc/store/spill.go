@@ -249,6 +249,27 @@ func (s *SpillStore) Peek(path string) (Entry, bool) {
 	return nil, false
 }
 
+// Delete removes path's entry from whichever tier holds it, reporting
+// whether it was present. A hot delete bypasses the spill-on-evict hook
+// (the entry is relinquished, not demoted); a cold delete marks the log
+// record dead, to be reclaimed by the next compaction.
+func (s *SpillStore) Delete(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hot.Delete(path) {
+		// Any stale cold record for the same path is garbage too.
+		s.dropCold(path)
+		s.maybeCompact()
+		return true
+	}
+	if _, ok := s.cold[path]; ok {
+		s.dropCold(path)
+		s.maybeCompact()
+		return true
+	}
+	return false
+}
+
 // Len returns the number of entries across both tiers.
 func (s *SpillStore) Len() int {
 	s.mu.Lock()

@@ -63,6 +63,12 @@ type Store interface {
 	// stats and snapshots. A SpillStore serves cold entries as transient
 	// decoded copies: reads are accurate, mutations are lost.
 	Peek(path string) (Entry, bool)
+	// Delete removes path's entry from every tier, reporting whether it
+	// was present. A delete is not an eviction: no evict hook runs and no
+	// spill happens — the entry is simply forgotten. It is how shard
+	// handoff relinquishes ownership of a path that now lives on another
+	// node.
+	Delete(path string) bool
 	// Len returns the number of stored entries across all tiers.
 	Len() int
 	// Capacity returns the enforced hot-tier entry bound.

@@ -1,31 +1,43 @@
 #!/bin/sh
-# cluster.sh — multi-node routing acceptance gate against the real binaries.
+# cluster.sh — cluster robustness acceptance gates against the real
+# binaries (predserverd, predload, predctl). Four gates, one invariant:
+# deployment shape and membership churn must never change a predict
+# response byte or lose a path.
 #
-# Replays the same synthetic series twice:
+#   1. scale-out: a 4-node cluster (two nodes squeezed to -capacity 4
+#      with spill dirs, two default) replaying via `predload -cluster
+#      -batch` reproduces the single-node digest, holds disjoint path
+#      sets covering the series, and serves balanced per-node QPS.
 #
-#   1. against one predserverd with default capacity (the reference run),
-#   2. against a 2-node cluster via `predload -cluster -batch`, with each
-#      node squeezed to -capacity 16 and a -spill-dir so the two-tier
-#      store spills and faults sessions for real,
+#   2. rolling restart: every node of a 4-node cluster is SIGTERMed and
+#      restarted (snapshot restore) while a paced load runs. The drain
+#      sequence (/readyz 503 → in-flight finish → final snapshot) plus
+#      the client's connection-refused retry loop must ride it out: zero
+#      request errors, at least one failover ridden out, digest equal to
+#      the single-node run.
 #
-# and asserts:
+#   3. resize 2→3 mid-load: phase 1 of the series replays against two
+#      nodes, `predctl rebalance` moves ownership onto a third, phase 2
+#      replays against all three. Both phase digests must equal a
+#      single-node run split at the same epoch, and the three nodes must
+#      hold all paths exactly once — zero lost, zero duplicated.
 #
-#   a. the predict digests are identical — rendezvous routing, batched
-#      ingest and disk spilling must not change a single response byte,
-#   b. the cluster nodes hold disjoint path sets that together cover the
-#      series (each path lives on exactly one node, no node is idle),
-#   c. both nodes spilled to disk (the squeeze was real) and shut down
-#      cleanly on SIGTERM.
+#   4. handoff under fire: the resize runs with -chaos-handoff on the
+#      exporting and the joining node, killing the first export stream
+#      mid-transfer and failing the first import mid-batch. The
+#      rebalance must retry and converge — retries visible in its
+#      report, state intact per gate 3's checks.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-P0="${CLUSTER_PORT:-18455}"
-P1=$((P0 + 1))
-P2=$((P0 + 2))
+P0="${CLUSTER_PORT:-18455}"     # single-node reference
+P1=$((P0 + 1)); P2=$((P0 + 2)); P3=$((P0 + 3)); P4=$((P0 + 4))   # gates 1-2
+P5=$((P0 + 5)); P6=$((P0 + 6)); P7=$((P0 + 7))                   # gate 3/4
 SEED=7
 PATHS=40
 EPOCHS=40
+BOUNDARY=20
 
 tmp=$(mktemp -d)
 pids=""
@@ -43,12 +55,14 @@ trap cleanup EXIT INT TERM
 echo "==> building binaries"
 go build -o "$tmp/predserverd" ./cmd/predserverd
 go build -o "$tmp/predload" ./cmd/predload
+go build -o "$tmp/predctl" ./cmd/predctl
 
-# wait_ready polls /v1/stats (read-only: must not pollute path state).
+# wait_ready polls /readyz — the routing-readiness signal, which also
+# covers snapshot restore (a restoring daemon answers 503).
 wait_ready() {
     i=0
     while [ $i -lt 100 ]; do
-        if curl -fsS "http://$1/v1/stats" >/dev/null 2>&1; then
+        if curl -fsS "http://$1/readyz" >/dev/null 2>&1; then
             return 0
         fi
         i=$((i + 1))
@@ -72,7 +86,8 @@ stop_node() {
 digest_of() { grep -o 'digest sha256:[0-9a-f]*' "$1" | head -n1; }
 paths_of() { curl -fsS "http://$1/v1/stats?limit=0" | grep -o '"paths":[0-9]*' | head -n1 | cut -d: -f2; }
 
-echo "==> reference run (1 node, default store)"
+# --------------------------------------------------------------------
+echo "==> reference runs (1 node): full series, then the same series split at epoch $BOUNDARY"
 "$tmp/predserverd" -addr "127.0.0.1:$P0" >"$tmp/single.log" 2>&1 &
 single_pid=$!
 pids="$single_pid"
@@ -82,66 +97,238 @@ wait_ready "127.0.0.1:$P0"
 stop_node "$single_pid" "$tmp/single.log"
 pids=""
 
-echo "==> cluster run (2 nodes, spill-backed, batched ingest)"
-"$tmp/predserverd" -addr "127.0.0.1:$P1" -capacity 16 -spill-dir "$tmp/spill-a" \
-    >"$tmp/node-a.log" 2>&1 &
+# The digest chain restarts per run, so the resize gate (two phases, two
+# runs) is compared against a single node replaying the same two phases.
+# SyntheticSeries is prefix-stable: -epochs $BOUNDARY is byte-identical
+# to the first $BOUNDARY epochs of the full series.
+"$tmp/predserverd" -addr "127.0.0.1:$P0" >"$tmp/single2.log" 2>&1 &
+single_pid=$!
+pids="$single_pid"
+wait_ready "127.0.0.1:$P0"
+"$tmp/predload" -addr "127.0.0.1:$P0" -seed "$SEED" -paths "$PATHS" -epochs "$BOUNDARY" \
+    >"$tmp/ref-p1.out" 2>&1
+"$tmp/predload" -addr "127.0.0.1:$P0" -seed "$SEED" -paths "$PATHS" -epochs "$EPOCHS" \
+    -start-epoch "$BOUNDARY" >"$tmp/ref-p2.out" 2>&1
+stop_node "$single_pid" "$tmp/single2.log"
+pids=""
+
+single_digest=$(digest_of "$tmp/single.out")
+ref_p1=$(digest_of "$tmp/ref-p1.out")
+ref_p2=$(digest_of "$tmp/ref-p2.out")
+[ -n "$single_digest" ] || { echo "no digest in reference output" >&2; cat "$tmp/single.out" >&2; exit 1; }
+[ -n "$ref_p1" ] && [ -n "$ref_p2" ] || { echo "no digest in phase-split reference" >&2; exit 1; }
+
+# --------------------------------------------------------------------
+echo "==> gate 1: 4-node cluster (2 spill-backed + 2 default) reproduces the digest"
+"$tmp/predserverd" -addr "127.0.0.1:$P1" -shards 1 -capacity 4 -spill-dir "$tmp/spill-a" >"$tmp/node-a.log" 2>&1 &
 a_pid=$!
-"$tmp/predserverd" -addr "127.0.0.1:$P2" -capacity 16 -spill-dir "$tmp/spill-b" \
-    >"$tmp/node-b.log" 2>&1 &
+"$tmp/predserverd" -addr "127.0.0.1:$P2" -shards 1 -capacity 4 -spill-dir "$tmp/spill-b" >"$tmp/node-b.log" 2>&1 &
 b_pid=$!
-pids="$a_pid $b_pid"
-wait_ready "127.0.0.1:$P1"
-wait_ready "127.0.0.1:$P2"
-"$tmp/predload" -cluster "127.0.0.1:$P1,127.0.0.1:$P2" -batch \
-    -seed "$SEED" -paths "$PATHS" -epochs "$EPOCHS" -quantiles >"$tmp/cluster.out" 2>&1
+"$tmp/predserverd" -addr "127.0.0.1:$P3" >"$tmp/node-c.log" 2>&1 &
+c_pid=$!
+"$tmp/predserverd" -addr "127.0.0.1:$P4" >"$tmp/node-d.log" 2>&1 &
+d_pid=$!
+pids="$a_pid $b_pid $c_pid $d_pid"
+for port in $P1 $P2 $P3 $P4; do wait_ready "127.0.0.1:$port"; done
 
-# (b) disjoint coverage, read before shutdown while both nodes serve.
-paths_a=$(paths_of "127.0.0.1:$P1")
-paths_b=$(paths_of "127.0.0.1:$P2")
-echo "    node A holds $paths_a paths, node B holds $paths_b"
-if [ -z "$paths_a" ] || [ -z "$paths_b" ] || [ "$paths_a" -eq 0 ] || [ "$paths_b" -eq 0 ]; then
-    echo "FAIL: a cluster node received no paths — routing is degenerate" >&2
-    exit 1
-fi
-if [ $((paths_a + paths_b)) -ne "$PATHS" ]; then
-    echo "FAIL: nodes hold $((paths_a + paths_b)) paths together, series has $PATHS — ownership overlaps or leaks" >&2
+"$tmp/predload" -cluster "127.0.0.1:$P1,127.0.0.1:$P2,127.0.0.1:$P3,127.0.0.1:$P4" -batch \
+    -seed "$SEED" -paths "$PATHS" -epochs "$EPOCHS" -quantiles >"$tmp/cluster4.out" 2>&1
+
+# Disjoint coverage across all four nodes, read while they serve.
+total=0
+for port in $P1 $P2 $P3 $P4; do
+    n=$(paths_of "127.0.0.1:$port")
+    echo "    node :$port holds ${n:-0} paths"
+    if [ -z "$n" ] || [ "$n" -eq 0 ]; then
+        echo "FAIL: a cluster node received no paths — routing is degenerate" >&2
+        exit 1
+    fi
+    total=$((total + n))
+done
+if [ "$total" -ne "$PATHS" ]; then
+    echo "FAIL: nodes hold $total paths together, series has $PATHS — ownership overlaps or leaks" >&2
     exit 1
 fi
 
-# (c) the capacity squeeze really spilled: cold paths exist on both nodes.
-cold_a=$(curl -fsS "http://127.0.0.1:$P1/v1/stats?limit=0" | grep -o '"cold_paths":[0-9]*' | cut -d: -f2)
-cold_b=$(curl -fsS "http://127.0.0.1:$P2/v1/stats?limit=0" | grep -o '"cold_paths":[0-9]*' | cut -d: -f2)
-echo "    cold paths: node A $cold_a, node B $cold_b"
-if [ "${cold_a:-0}" -eq 0 ] || [ "${cold_b:-0}" -eq 0 ]; then
-    echo "FAIL: expected both nodes to spill past -capacity 16" >&2
+# Per-node QPS is a checked number: every node must have completed a
+# non-trivial share of the load (floor 100 requests of the several
+# thousand replayed — a catastrophic-imbalance guard, not a balance
+# micro-assert).
+for port in $P1 $P2 $P3 $P4; do
+    line=$(grep "node http://127.0.0.1:$port:" "$tmp/cluster4.out" || true)
+    if [ -z "$line" ]; then
+        echo "FAIL: no per-node QPS line for :$port in the load report" >&2
+        cat "$tmp/cluster4.out" >&2
+        exit 1
+    fi
+    reqs=$(echo "$line" | grep -o '[0-9]* requests' | cut -d' ' -f1)
+    qps=$(echo "$line" | grep -o '[0-9]* req/s' | cut -d' ' -f1)
+    echo "    node :$port served $reqs requests at $qps req/s"
+    if [ "${reqs:-0}" -lt 100 ] || [ "${qps:-0}" -lt 1 ]; then
+        echo "FAIL: node :$port served only ${reqs:-0} requests (${qps:-0} req/s)" >&2
+        exit 1
+    fi
+done
+
+# The capacity squeeze really spilled on the two squeezed nodes.
+for port in $P1 $P2; do
+    cold=$(curl -fsS "http://127.0.0.1:$port/v1/stats?limit=0" | grep -o '"cold_paths":[0-9]*' | cut -d: -f2)
+    if [ "${cold:-0}" -eq 0 ]; then
+        echo "FAIL: expected node :$port to spill past -capacity 4" >&2
+        exit 1
+    fi
+done
+
+cluster_digest=$(digest_of "$tmp/cluster4.out")
+echo "    1-node  $single_digest"
+echo "    4-node  $cluster_digest"
+if [ "$single_digest" != "$cluster_digest" ]; then
+    echo "FAIL: 4-node run changed the predict digest" >&2
+    cat "$tmp/cluster4.out" >&2
     exit 1
 fi
+grep -q 'coverage' "$tmp/cluster4.out" || {
+    echo "FAIL: no interval-coverage report — quantiles missing from predict responses" >&2
+    exit 1
+}
 
 stop_node "$a_pid" "$tmp/node-a.log"
 stop_node "$b_pid" "$tmp/node-b.log"
+stop_node "$c_pid" "$tmp/node-c.log"
+stop_node "$d_pid" "$tmp/node-d.log"
 pids=""
 
-# (a) digest equality across deployment shapes. The predict responses
-# carry the quantile interval and selected family, so the digest gates
-# the full uncertainty surface; -quantiles additionally scores coverage,
-# which must be reported (and, being a pure function of the responses,
-# identical) in both runs.
-for out in "$tmp/single.out" "$tmp/cluster.out"; do
-    grep -q 'coverage' "$out" || {
-        echo "FAIL: no interval-coverage report in $out — quantiles missing from predict responses" >&2
-        cat "$out" >&2
-        exit 1
-    }
+# --------------------------------------------------------------------
+echo "==> gate 2: rolling restart of all 4 nodes under paced load"
+# Snapshots carry state across the restarts; -drain-delay holds /readyz
+# at 503 briefly before the listener closes so probing clients re-route.
+for i in 1 2 3 4; do
+    eval "port=\$P$i"
+    "$tmp/predserverd" -addr "127.0.0.1:$port" -snapshot "$tmp/snap-$i.json" \
+        -drain-delay 200ms >"$tmp/roll-$i.log" 2>&1 &
+    eval "roll_$i=$!"
+    pids="$pids $!"
 done
-single_digest=$(digest_of "$tmp/single.out")
-cluster_digest=$(digest_of "$tmp/cluster.out")
-[ -n "$single_digest" ] || { echo "no digest in reference output" >&2; cat "$tmp/single.out" >&2; exit 1; }
-echo "    1-node  $single_digest"
-echo "    2-node  $cluster_digest"
-if [ "$single_digest" != "$cluster_digest" ]; then
-    echo "FAIL: clustered run changed the predict digest" >&2
-    cat "$tmp/cluster.out" >&2
+for port in $P1 $P2 $P3 $P4; do wait_ready "127.0.0.1:$port"; done
+
+"$tmp/predload" -cluster "127.0.0.1:$P1,127.0.0.1:$P2,127.0.0.1:$P3,127.0.0.1:$P4" \
+    -seed "$SEED" -paths "$PATHS" -epochs "$EPOCHS" -pace 150ms \
+    >"$tmp/rolling.out" 2>&1 &
+load_pid=$!
+
+sleep 1
+for i in 1 2 3 4; do
+    eval "port=\$P$i"
+    eval "pid=\$roll_$i"
+    stop_node "$pid" "$tmp/roll-$i.log"
+    mv "$tmp/roll-$i.log" "$tmp/roll-$i.first.log"
+    "$tmp/predserverd" -addr "127.0.0.1:$port" -snapshot "$tmp/snap-$i.json" \
+        -drain-delay 200ms >"$tmp/roll-$i.log" 2>&1 &
+    eval "roll_$i=$!"
+    pids="$pids $!"
+    wait_ready "127.0.0.1:$port"
+    echo "    node :$port restarted (snapshot restored)"
+done
+
+wait "$load_pid" || {
+    echo "FAIL: paced load failed across the rolling restart" >&2
+    cat "$tmp/rolling.out" >&2
+    exit 1
+}
+rolling_digest=$(digest_of "$tmp/rolling.out")
+failovers=$(grep -o '[0-9]* failovers' "$tmp/rolling.out" | cut -d' ' -f1)
+echo "    rolling $rolling_digest (failovers ridden out: ${failovers:-0})"
+if [ "$rolling_digest" != "$single_digest" ]; then
+    echo "FAIL: rolling restart changed the predict digest" >&2
+    cat "$tmp/rolling.out" >&2
+    exit 1
+fi
+if [ "${failovers:-0}" -lt 1 ]; then
+    echo "FAIL: no failovers recorded — the restarts never intersected the load, gate proves nothing" >&2
+    cat "$tmp/rolling.out" >&2
+    exit 1
+fi
+for i in 1 2 3 4; do
+    eval "pid=\$roll_$i"
+    stop_node "$pid" "$tmp/roll-$i.log"
+done
+pids=""
+
+# --------------------------------------------------------------------
+echo "==> gates 3+4: resize 2 -> 3 mid-load, with the first handoff killed mid-transfer"
+# -chaos-handoff on the exporting node A (first export stream aborts
+# without a trailer) and on the joining node C (first import 500s
+# mid-batch): only predctl's idempotent retry can complete the move.
+"$tmp/predserverd" -addr "127.0.0.1:$P5" -chaos-handoff >"$tmp/rs-a.log" 2>&1 &
+ra_pid=$!
+"$tmp/predserverd" -addr "127.0.0.1:$P6" >"$tmp/rs-b.log" 2>&1 &
+rb_pid=$!
+pids="$ra_pid $rb_pid"
+wait_ready "127.0.0.1:$P5"
+wait_ready "127.0.0.1:$P6"
+
+"$tmp/predload" -cluster "127.0.0.1:$P5,127.0.0.1:$P6" \
+    -seed "$SEED" -paths "$PATHS" -epochs "$BOUNDARY" >"$tmp/resize-p1.out" 2>&1
+p1_digest=$(digest_of "$tmp/resize-p1.out")
+echo "    phase-1 ref    $ref_p1"
+echo "    phase-1 2-node $p1_digest"
+if [ "$p1_digest" != "$ref_p1" ]; then
+    echo "FAIL: phase-1 digest diverged before the resize" >&2
     exit 1
 fi
 
-echo "OK: 2-node cluster reproduced the single-node digest with disjoint, spill-backed ownership"
+"$tmp/predserverd" -addr "127.0.0.1:$P7" -chaos-handoff >"$tmp/rs-c.log" 2>&1 &
+rc_pid=$!
+pids="$pids $rc_pid"
+wait_ready "127.0.0.1:$P7"
+
+"$tmp/predctl" rebalance \
+    -from "127.0.0.1:$P5,127.0.0.1:$P6" \
+    -to "127.0.0.1:$P5,127.0.0.1:$P6,127.0.0.1:$P7" >"$tmp/rebalance.out" 2>&1 || {
+    echo "FAIL: predctl rebalance failed" >&2
+    cat "$tmp/rebalance.out" >&2
+    exit 1
+}
+sed 's/^/    /' "$tmp/rebalance.out" | tail -n 3
+retries=$(grep -o '[0-9]* retries' "$tmp/rebalance.out" | tail -n1 | cut -d' ' -f1)
+if [ "${retries:-0}" -lt 1 ]; then
+    echo "FAIL: rebalance reported no retries — the injected mid-transfer kill never fired" >&2
+    cat "$tmp/rebalance.out" >&2
+    exit 1
+fi
+
+# Zero lost paths: the three nodes hold the series exactly once, and the
+# joiner actually owns some of it.
+total=0
+for port in $P5 $P6 $P7; do
+    n=$(paths_of "127.0.0.1:$port")
+    echo "    node :$port holds ${n:-0} paths"
+    total=$((total + ${n:-0}))
+done
+if [ "$total" -ne "$PATHS" ]; then
+    echo "FAIL: $total paths across the resized cluster, series has $PATHS — the handoff lost or duplicated state" >&2
+    exit 1
+fi
+joiner=$(paths_of "127.0.0.1:$P7")
+if [ "${joiner:-0}" -eq 0 ]; then
+    echo "FAIL: the joining node owns nothing after the rebalance" >&2
+    exit 1
+fi
+
+"$tmp/predload" -cluster "127.0.0.1:$P5,127.0.0.1:$P6,127.0.0.1:$P7" \
+    -seed "$SEED" -paths "$PATHS" -epochs "$EPOCHS" -start-epoch "$BOUNDARY" \
+    >"$tmp/resize-p2.out" 2>&1
+p2_digest=$(digest_of "$tmp/resize-p2.out")
+echo "    phase-2 ref    $ref_p2"
+echo "    phase-2 3-node $p2_digest"
+if [ "$p2_digest" != "$ref_p2" ]; then
+    echo "FAIL: phase-2 digest diverged after the killed-and-retried resize" >&2
+    exit 1
+fi
+
+stop_node "$ra_pid" "$tmp/rs-a.log"
+stop_node "$rb_pid" "$tmp/rs-b.log"
+stop_node "$rc_pid" "$tmp/rs-c.log"
+pids=""
+
+echo "OK: 4-node digest equality, rolling restart ridden out, resize 2->3 with killed handoff converged"

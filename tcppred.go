@@ -278,6 +278,40 @@ type ClusterMap = cluster.Map
 // (base URLs, host:ports — any stable identifiers).
 func NewClusterMap(nodes ...string) *ClusterMap { return cluster.New(nodes...) }
 
+// ClusterClient routes requests over a ClusterMap and retries through the
+// failures a live cluster throws at it — 429 load shedding, 5xx responses,
+// and connection errors while a node restarts (it parks on /readyz probes
+// until the node is back, then replays). predload and predctl are built on
+// it; embedders get the same ride-out-the-restart behavior.
+type ClusterClient = cluster.Client
+
+// ClusterClientConfig tunes a ClusterClient: node set, backoff bounds,
+// retry deadline (the window a node restart must fit into), and the
+// /readyz probing cadence.
+type ClusterClientConfig = cluster.ClientConfig
+
+// NewClusterClient builds a retrying cluster client over the given nodes.
+func NewClusterClient(cfg ClusterClientConfig) *ClusterClient { return cluster.NewClient(cfg) }
+
+// RebalanceConfig drives one cluster membership change (see Rebalance).
+type RebalanceConfig = predsvc.RebalanceConfig
+
+// RebalanceReport summarizes a Rebalance run: sessions moved, imported,
+// skipped (already present — the signature of a retried pass), dropped,
+// and how many failed passes were retried.
+type RebalanceReport = predsvc.RebalanceReport
+
+// Rebalance resizes a cluster from one membership to another using the
+// session-handoff protocol (DESIGN.md §14): every node of the old
+// membership exports the sessions the new rendezvous map assigns
+// elsewhere, each session is imported into its new owner last-writer-wins
+// on observation count, and sources drop their copies only after every
+// import succeeded — so a kill anywhere mid-transfer loses nothing and a
+// retried run converges. cmd/predctl's rebalance subcommand wraps it.
+func Rebalance(ctx context.Context, cfg RebalanceConfig) (*RebalanceReport, error) {
+	return predsvc.Rebalance(ctx, cfg)
+}
+
 // PredictorSession is the goroutine-safe per-path predictor state: the HB
 // ensemble (MA/EWMA/Holt-Winters, LSO-wrapped by default), the FB
 // predictor with its latest measurements, and rolling Eq. 4/RMSRE
