@@ -4,13 +4,15 @@
 //
 //	go test -bench=. -benchmem -run '^$' . | benchjson parse -out BENCH_4.json
 //	benchjson compare -old BENCH_3.json -new BENCH_4.json \
-//	    -gate 'BenchmarkEngineEvents,BenchmarkTCPTransfer' -max-regress 25
+//	    -gate 'BenchmarkEngineEvents,BenchmarkTCPTransfer' -max-regress 25 \
+//	    -zero-alloc 'BenchmarkWireObserveDecode'
 //
 // Parse mode keeps the best (lowest ns/op) of repeated runs of the same
 // benchmark, so `-count=N` output yields one stable entry per benchmark.
 // Compare mode exits non-zero when any gated benchmark's ns/op regressed
-// by more than the threshold percentage; other benchmarks are reported but
-// never fail the gate.
+// by more than the threshold percentage, or when a -zero-alloc benchmark
+// records any allocs/op at all; other benchmarks are reported but never
+// fail the gate.
 package main
 
 import (
@@ -171,6 +173,7 @@ func runCompare(args []string) {
 	newPath := fs.String("new", "", "candidate JSON file")
 	gate := fs.String("gate", "", "comma-separated benchmark names that fail the build on regression")
 	maxRegress := fs.Float64("max-regress", 25, "max allowed ns/op regression for gated benchmarks, percent")
+	zeroAlloc := fs.String("zero-alloc", "", "comma-separated benchmark names that fail the build when -new records allocs/op > 0")
 	fs.Parse(args)
 	if *oldPath == "" || *newPath == "" {
 		fatalf("compare: -old and -new are required")
@@ -218,23 +221,50 @@ func runCompare(args []string) {
 		if _, ok := oldBy[name]; !ok {
 			continue
 		}
-		if !hasResult(newF.Results, name) {
+		if _, ok := findResult(newF.Results, name); !ok {
 			fmt.Printf("%-32s missing from %s\n", name, *newPath)
 			failed++
 		}
 	}
+	// The zero-alloc gate is absolute, not relative: these benches are
+	// the fastpath's contract, so a single allocation per op fails the
+	// build even if ns/op improved. A missing allocs/op figure parses as
+	// 0 — run the bench with -benchmem or b.ReportAllocs() so the gate
+	// measures rather than assumes.
+	for _, name := range splitList(*zeroAlloc) {
+		nr, ok := findResult(newF.Results, name)
+		if !ok {
+			fmt.Printf("%-32s missing from %s (zero-alloc gate)\n", name, *newPath)
+			failed++
+			continue
+		}
+		if nr.AllocsOp > 0 {
+			fmt.Printf("%-32s %g allocs/op  [zero-alloc] VIOLATION\n", name, nr.AllocsOp)
+			failed++
+		}
+	}
 	if failed > 0 {
-		fatalf("compare: %d gated benchmark(s) regressed more than %.0f%%", failed, *maxRegress)
+		fatalf("compare: %d gated benchmark(s) failed (ns/op regression > %.0f%% or allocs/op > 0)", failed, *maxRegress)
 	}
 }
 
-func hasResult(rs []Result, name string) bool {
-	for _, r := range rs {
-		if r.Name == name {
-			return true
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
 		}
 	}
-	return false
+	return out
+}
+
+func findResult(rs []Result, name string) (Result, bool) {
+	for _, r := range rs {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
 }
 
 func loadFile(path string) (File, error) {

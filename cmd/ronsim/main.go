@@ -5,7 +5,7 @@
 //
 //	ronsim [-out data/d1.json.gz] [-seed 1] [-full] [-second]
 //	       [-workers N] [-progress bar|jsonl|off] [-retries N]
-//	       [-paths N] [-traces N] [-epochs N]
+//	       [-paths N] [-traces N] [-epochs N] [-stream=false]
 //	       [-obs-addr :6060] [-obs-dump dir]
 //
 // By default a scaled-down campaign runs (12 paths × 2 traces × 40 epochs);
@@ -26,6 +26,11 @@
 // seed rather than aborting the campaign. Interrupting with Ctrl-C stops
 // at the next epoch boundaries and saves the completed traces as a
 // partial dataset.
+//
+// By default traces stream to disk as they complete (record-per-epoch
+// inside the optionally-gzipped output), so memory use is constant even
+// for 10k-path campaigns; cmd/repro auto-detects the format.
+// -stream=false restores the legacy materialize-then-save behavior.
 package main
 
 import (
@@ -61,6 +66,7 @@ func main() {
 	epochs := flag.Int("epochs", 0, "override epochs per trace (0 = per-scale default)")
 	obsAddr := flag.String("obs-addr", "", "serve live /metrics + /debug/pprof/ + /debug/trace on this address during the run")
 	obsDump := flag.String("obs-dump", "", "write trace.json/trace.txt/metrics.prom artifacts to this directory after the run")
+	stream := flag.Bool("stream", true, "write traces to disk as they complete (constant memory; record-per-epoch stream format); -stream=false materializes the whole dataset and writes the legacy single-document form")
 	flag.Parse()
 
 	var cfg testbed.RunConfig
@@ -120,41 +126,100 @@ func main() {
 	}
 
 	start := time.Now()
-	ds, err := testbed.CollectContext(ctx, cfg)
-	partial := false
-	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			partial = true
-			log.Printf("interrupted; keeping %d completed traces", len(ds.Traces))
-		} else {
-			// Trace faults: the campaign carried on without them.
-			log.Printf("completed with failed traces: %v", err)
+	var partial bool
+	if *stream {
+		partial = collectStreaming(ctx, cfg, *out, start)
+		dumpObs(telemetry, *obsDump)
+	} else {
+		ds, err := testbed.CollectContext(ctx, cfg)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				partial = true
+				log.Printf("interrupted; keeping %d completed traces", len(ds.Traces))
+			} else {
+				// Trace faults: the campaign carried on without them.
+				log.Printf("completed with failed traces: %v", err)
+			}
 		}
-	}
-	log.Printf("collected %d traces / %d epochs in %v", len(ds.Traces), ds.Epochs(), time.Since(start).Round(time.Second))
-
-	if *obsDump != "" {
-		if err := telemetry.WriteFiles(*obsDump); err != nil {
-			log.Printf("obs dump: %v", err)
-		} else {
-			log.Printf("wrote observability artifacts to %s/", *obsDump)
+		log.Printf("collected %d traces / %d epochs in %v", len(ds.Traces), ds.Epochs(), time.Since(start).Round(time.Second))
+		dumpObs(telemetry, *obsDump)
+		if len(ds.Traces) == 0 {
+			log.Print("nothing to save")
+			os.Exit(1)
 		}
-	}
-
-	if len(ds.Traces) == 0 {
-		log.Print("nothing to save")
-		os.Exit(1)
+		if partial {
+			ds.Label += "-partial"
+		}
+		if err := traceio.Save(*out, ds); err != nil {
+			log.Printf("save: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("wrote %s", *out)
 	}
 	if partial {
-		ds.Label += "-partial"
+		os.Exit(1)
 	}
-	if err := traceio.Save(*out, ds); err != nil {
+}
+
+// collectStreaming runs the campaign with each completed trace flushed
+// straight to a traceio stream writer, so memory stays constant however
+// large the campaign is. An interrupted campaign still lands on disk —
+// atomically, with the trailer's partial flag set so readers know — and
+// the function reports whether that happened. Unsaveable runs exit.
+func collectStreaming(ctx context.Context, cfg testbed.RunConfig, out string, start time.Time) (partial bool) {
+	w, err := traceio.NewWriter(out, cfg.DatasetLabel())
+	if err != nil {
 		log.Printf("save: %v", err)
 		os.Exit(1)
 	}
-	log.Printf("wrote %s", *out)
-	if partial {
+	var writeErr error
+	err = testbed.CollectStream(ctx, cfg, func(tr testbed.Trace) error {
+		if err := w.WriteTrace(tr); err != nil {
+			writeErr = err
+			return err
+		}
+		return nil
+	})
+	traces, epochs := w.Counts()
+	switch {
+	case writeErr != nil:
+		w.Abort()
+		log.Printf("save: %v", writeErr)
 		os.Exit(1)
+	case errors.Is(err, context.Canceled):
+		partial = true
+		log.Printf("interrupted; keeping %d completed traces", traces)
+	case err != nil:
+		// Trace faults: the campaign carried on without them.
+		log.Printf("completed with failed traces: %v", err)
+	}
+	log.Printf("collected %d traces / %d epochs in %v", traces, epochs, time.Since(start).Round(time.Second))
+	if traces == 0 {
+		w.Abort()
+		log.Print("nothing to save")
+		os.Exit(1)
+	}
+	closeErr := w.Close
+	if partial {
+		closeErr = w.ClosePartial
+	}
+	if err := closeErr(); err != nil {
+		log.Printf("save: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("wrote %s (streamed)", out)
+	return partial
+}
+
+// dumpObs writes the observability artifacts when a dump dir was given.
+func dumpObs(telemetry *obs.Obs, dir string) {
+	if dir == "" {
+		return
+	}
+	if err := telemetry.WriteFiles(dir); err != nil {
+		log.Printf("obs dump: %v", err)
+	} else {
+		log.Printf("wrote observability artifacts to %s/", dir)
 	}
 }
 

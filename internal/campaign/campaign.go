@@ -93,6 +93,59 @@ type Runner[T any] struct {
 	// observation. Callbacks may fire concurrently from worker
 	// goroutines; the observers in this package serialize internally.
 	Observer Observer
+
+	// Sink, when non-nil, switches the runner to streaming delivery:
+	// every Result is handed to Sink exactly once, in strict job-index
+	// order, and the slice Run returns carries the same Results with
+	// their Values zeroed — the sink is the only holder of job payloads,
+	// which is what keeps a 10k-job campaign at constant RSS. The reorder
+	// buffer applies backpressure: a worker whose result is more than
+	// ~2×Parallelism jobs ahead of the delivery cursor blocks until the
+	// sink catches up, so a slow sink bounds memory instead of growing a
+	// backlog. Sink is called from worker goroutines but never
+	// concurrently with itself; it must not call back into the Runner.
+	Sink func(Result[T])
+}
+
+// reorder delivers results to a Sink in job-index order no matter what
+// order workers complete them in. Out-of-order results wait in pending,
+// whose size is capped at window: a worker trying to park a result too
+// far ahead of the delivery cursor waits on cond, which turns a slow
+// sink into backpressure on the whole pool rather than an unbounded
+// parked-results backlog. The worker owning index next is always inside
+// the window, so delivery — and therefore every waiter — makes progress.
+type reorder[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	next    int
+	window  int
+	pending map[int]Result[T]
+	sink    func(Result[T])
+}
+
+func newReorder[T any](window int, sink func(Result[T])) *reorder[T] {
+	ro := &reorder[T]{window: window, pending: make(map[int]Result[T]), sink: sink}
+	ro.cond = sync.NewCond(&ro.mu)
+	return ro
+}
+
+func (ro *reorder[T]) deliver(idx int, res Result[T]) {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	for idx >= ro.next+ro.window {
+		ro.cond.Wait()
+	}
+	ro.pending[idx] = res
+	for {
+		r, ok := ro.pending[ro.next]
+		if !ok {
+			return
+		}
+		delete(ro.pending, ro.next)
+		ro.next++
+		ro.cond.Broadcast()
+		ro.sink(r)
+	}
 }
 
 // Run executes all jobs and returns one Result per job, in job order
@@ -100,7 +153,9 @@ type Runner[T any] struct {
 // they are recorded in their Result and reported to the Observer. The
 // returned error is non-nil only when ctx was cancelled or its deadline
 // exceeded, in which case results for already-completed jobs are still
-// returned (partial-campaign semantics).
+// returned (partial-campaign semantics). With a Sink set, results are
+// additionally streamed to it in job order and the returned slice keeps
+// only the metadata (Values zeroed).
 func (r *Runner[T]) Run(ctx context.Context, jobs []Job, fn Func[T]) ([]Result[T], error) {
 	workers := r.Parallelism
 	if workers <= 0 {
@@ -120,6 +175,11 @@ func (r *Runner[T]) Run(ctx context.Context, jobs []Job, fn Func[T]) ([]Result[T
 	}
 	obs.CampaignStarted(len(jobs), totalEpochs)
 
+	var ro *reorder[T]
+	if r.Sink != nil {
+		ro = newReorder(2*workers+1, r.Sink)
+	}
+
 	results := make([]Result[T], len(jobs))
 	feed := make(chan int)
 	start := time.Now()
@@ -130,31 +190,43 @@ func (r *Runner[T]) Run(ctx context.Context, jobs []Job, fn Func[T]) ([]Result[T
 		go func() {
 			defer wg.Done()
 			for idx := range feed {
-				results[idx] = r.runJob(ctx, jobs[idx], fn, obs)
+				res := r.runJob(ctx, jobs[idx], fn, obs)
+				if ro != nil {
+					ro.deliver(idx, res)
+					var zero T
+					res.Value = zero // the sink owns the payload
+				}
+				results[idx] = res
 			}
 		}()
 	}
 
+	sent := len(jobs)
 dispatch:
 	for i := range jobs {
 		select {
 		case feed <- i:
 		case <-ctx.Done():
+			sent = i
 			break dispatch
 		}
 	}
 	close(feed)
 	wg.Wait()
 
-	// Jobs never dispatched (or aborted before their first attempt)
-	// carry the context error so callers can tell them apart from
-	// completed work.
+	// Jobs never dispatched carry the context error so callers can tell
+	// them apart from completed work; in sink mode they flow through the
+	// reorder buffer too, keeping the exactly-once-in-order contract.
 	if err := ctx.Err(); err != nil {
-		for i := range results {
-			if results[i].Attempts == 0 && results[i].Err == nil {
-				results[i] = Result[T]{Job: jobs[i], Err: err}
+		for i := sent; i < len(jobs); i++ {
+			res := Result[T]{Job: jobs[i], Err: err}
+			if ro != nil {
+				ro.deliver(i, res)
 			}
+			results[i] = res
 		}
+		// Dispatched jobs that aborted before their first attempt were
+		// already recorded (and delivered) by runJob with Attempts == 0.
 	}
 
 	sum := Summary{Jobs: len(jobs), Wall: time.Since(start)}

@@ -1,0 +1,173 @@
+package fastjson
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+const hexDigits = "0123456789abcdef"
+
+// safeSet reports the ASCII bytes that can appear verbatim inside a JSON
+// string encoded the way json.Marshal does by default: printable, not a
+// quote or backslash, and not one of the HTML-unsafe <, >, & (which
+// encoding/json escapes unless SetEscapeHTML(false)).
+var safeSet = func() (s [utf8.RuneSelf]bool) {
+	for i := 0x20; i < utf8.RuneSelf; i++ {
+		s[i] = true
+	}
+	for _, c := range []byte{'"', '\\', '<', '>', '&'} {
+		s[c] = false
+	}
+	return
+}()
+
+// AppendString appends s as a JSON string, byte-identical to
+// json.Marshal(s).
+func AppendString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if safeSet[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			dst = appendEscapedByte(dst, b)
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		// U+2028 and U+2029 are valid JSON but break JSONP consumers;
+		// encoding/json escapes them unconditionally, so we do too.
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// AppendStringBytes is AppendString over a byte slice, for decoded wire
+// fields that were never materialized as strings.
+func AppendStringBytes(dst, s []byte) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if safeSet[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			dst = appendEscapedByte(dst, b)
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRune(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+func appendEscapedByte(dst []byte, b byte) []byte {
+	switch b {
+	case '\\', '"':
+		return append(dst, '\\', b)
+	case '\b':
+		return append(dst, '\\', 'b')
+	case '\f':
+		return append(dst, '\\', 'f')
+	case '\n':
+		return append(dst, '\\', 'n')
+	case '\r':
+		return append(dst, '\\', 'r')
+	case '\t':
+		return append(dst, '\\', 't')
+	default:
+		// Remaining control characters and the HTML-unsafe <, >, &.
+		return append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+	}
+}
+
+// AppendFloat64 appends f formatted exactly as json.Marshal formats a
+// float64: shortest 'f' form, switching to 'e' outside [1e-6, 1e21) with
+// the two-digit exponent shortened (1e-09 → 1e-9). ok is false — and dst
+// is returned unchanged — for NaN and ±Inf, which JSON cannot represent
+// (json.Marshal fails the whole document with an UnsupportedValueError;
+// callers mirror that by falling back to the oracle path).
+func AppendFloat64(dst []byte, f float64) (_ []byte, ok bool) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return dst, false
+	}
+	// Integral fast path: below 2^53 every float has a unit ulp or finer,
+	// so the exact integer digits are the shortest decimal that parses
+	// back — the same string the 'f'-format shortest rendering produces —
+	// and AppendInt is several times cheaper than shortest-float. -0 must
+	// fall through (json renders it "-0").
+	if i := int64(f); float64(i) == f && f >= -(1<<53) && f <= 1<<53 &&
+		!(f == 0 && math.Signbit(f)) {
+		return strconv.AppendInt(dst, i, 10), true
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, true
+}
+
+// AppendUint64 appends u in base 10.
+func AppendUint64(dst []byte, u uint64) []byte {
+	return strconv.AppendUint(dst, u, 10)
+}
+
+// AppendInt64 appends i in base 10.
+func AppendInt64(dst []byte, i int64) []byte {
+	return strconv.AppendInt(dst, i, 10)
+}
+
+// AppendBool appends the JSON literal for v.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}

@@ -1,0 +1,54 @@
+// Package fastjson is the hand-rolled JSON fastpath behind predsvc's hot
+// wire shapes: append-based encoders that are byte-for-byte identical to
+// encoding/json for the values the service emits, and an allocation-free
+// pull decoder for the fixed request shapes it accepts.
+//
+// The package deliberately implements a subset of JSON — strings, IEEE
+// floats, unsigned/signed integers, bools, objects, arrays, null — with
+// encoding/json's exact observable behavior on that subset: the same
+// escaping (HTML-unsafe characters, control characters, invalid UTF-8 →
+// U+FFFD, U+2028/U+2029), the same float formatting ('f' vs 'e' with the
+// exponent cleanup), the same decode semantics (duplicate keys last-wins,
+// unknown fields skipped but validated, null is a no-op, NaN/Inf literals
+// rejected). encoding/json remains the correctness oracle: the compat
+// tests in this package hold the two byte-identical on generated
+// payloads, and predsvc's digest gates hold them identical end to end.
+//
+// Ownership rules: Buf values come from a sync.Pool via GetBuf/PutBuf;
+// the caller that gets a Buf puts it back exactly once, after the bytes
+// have been written out. Dec never allocates in steady state — strings it
+// returns are views into the input or into an internal scratch buffer,
+// valid only until the next decoding call.
+package fastjson
+
+import "sync"
+
+// A Buf is a pooled byte buffer for wire encoding and request-body
+// reads. B always has len(B) == 0 when handed out by GetBuf.
+type Buf struct {
+	B []byte
+}
+
+// maxRetained caps the capacity of buffers returned to the pool, so a
+// few oversized request bodies do not pin megabytes for the life of the
+// process.
+const maxRetained = 1 << 20
+
+var bufPool = sync.Pool{
+	New: func() any { return &Buf{B: make([]byte, 0, 4096)} },
+}
+
+// GetBuf returns an empty pooled buffer.
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuf returns a buffer to the pool. Oversized buffers are dropped.
+func PutBuf(b *Buf) {
+	if b == nil || cap(b.B) > maxRetained {
+		return
+	}
+	bufPool.Put(b)
+}

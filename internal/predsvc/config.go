@@ -121,6 +121,13 @@ type Config struct {
 	// (default 1024; negative disables shedding).
 	MaxInFlight int
 
+	// DisableFastpath pins the hot endpoints (/v1/observe, /v1/measure,
+	// /v1/predict and the batch endpoints) to the reflection-based
+	// encoding/json handlers instead of the zero-alloc wire fastpath
+	// (wire.go). Responses are byte-identical either way; the switch
+	// exists for digest cross-checks and as an escape hatch.
+	DisableFastpath bool
+
 	// DrainDelay is how long Serve keeps the listener accepting after
 	// /readyz flips to 503 on shutdown, giving cluster clients a probe
 	// cycle to stop routing here before connections start closing

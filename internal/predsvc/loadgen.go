@@ -208,6 +208,15 @@ type LoadReport struct {
 	Duration time.Duration
 	QPS      float64
 
+	// Client-side request latency over every completed request (retries
+	// included — this is the latency a caller experiences, not the
+	// server's service time): bucket upper bounds from the same
+	// exponential histogram the server uses, in microseconds.
+	LatencyP50Usec uint64
+	LatencyP99Usec uint64
+	// LatencyMeanUsec is the bucket-midpoint mean, in microseconds.
+	LatencyMeanUsec float64
+
 	// Accuracy of the service's "best" forecast against the next actual
 	// throughput, scored client-side with the paper's Eq. 4/5.
 	Predictions  int
@@ -251,10 +260,12 @@ type LoadReport struct {
 
 func (r LoadReport) String() string {
 	s := fmt.Sprintf(
-		"%d paths, %d epochs: %d requests (%d errors) in %v → %.0f req/s; "+
+		"%d paths, %d epochs: %d requests (%d errors) in %v → %.0f req/s "+
+			"(client latency p50 <%dµs, p99 <%dµs); "+
 			"%d predictions scored, RMSRE %.3f, median |E| %.3f",
 		r.Paths, r.Epochs, r.Requests, r.Errors, r.Duration.Round(time.Millisecond),
-		r.QPS, r.Predictions, r.RMSRE, r.MedianAbsErr)
+		r.QPS, r.LatencyP50Usec, r.LatencyP99Usec,
+		r.Predictions, r.RMSRE, r.MedianAbsErr)
 	if r.IntervalsScored > 0 {
 		s += fmt.Sprintf("; [p10,p90] coverage %.3f over %d intervals",
 			r.IntervalCoverage, r.IntervalsScored)
@@ -370,6 +381,10 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 		err         error
 	}
 	outs := make([]workerOut, cfg.Workers)
+	// One lock-free latency histogram shared by every worker; the same
+	// bucket layout the server's service-time histograms use, but timed
+	// around the retrying client, so it measures what callers experience.
+	lat := &histogram{}
 	start := time.Now()
 
 	var wg sync.WaitGroup
@@ -380,6 +395,7 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 			lw := loadWorker{
 				cfg: cfg, client: client, cc: cc, digests: make(map[string]string),
 				baseFor: baseFor, chaos: chaos, chaosCfg: chaosCfg, host: host,
+				lat: lat,
 			}
 			// Epoch-major over this worker's paths so load interleaves
 			// across paths instead of finishing them one by one.
@@ -478,6 +494,10 @@ func Replay(ctx context.Context, cfg LoadConfig, series []PathSeries) (*LoadRepo
 	if rep.Duration > 0 {
 		rep.QPS = float64(rep.Requests) / rep.Duration.Seconds()
 	}
+	ls := lat.snapshot()
+	rep.LatencyP50Usec = ls.P50Usec
+	rep.LatencyP99Usec = ls.P99Usec
+	rep.LatencyMeanUsec = ls.MeanUsec()
 	cs := cc.Stats()
 	rep.ShedRetries = cs.ShedRetries
 	rep.Retries = cs.Retries
@@ -521,6 +541,7 @@ type loadWorker struct {
 	covIn    int               // actuals inside the served [p10,p90] interval
 	covTotal int               // predict responses that carried an interval
 	digests  map[string]string // path → running hex digest chain
+	lat      *histogram        // shared client-side latency histogram
 	err      error
 
 	// pending buffers this epoch round's observations per node when
@@ -695,11 +716,13 @@ func (lw *loadWorker) get(ctx context.Context, base, path string, out any) []byt
 // run), so per-path request order — the determinism contract — is
 // preserved even across a node restart.
 func (lw *loadWorker) do(ctx context.Context, method, base, path string, body []byte, out any) []byte {
+	reqStart := time.Now()
 	status, data, err := lw.cc.Do(ctx, method, base, path, body)
 	if err != nil {
 		lw.err = err
 		return nil
 	}
+	lw.lat.record(time.Since(reqStart))
 	lw.requests++
 	if status != http.StatusOK {
 		lw.errors++

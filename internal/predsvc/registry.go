@@ -116,6 +116,35 @@ func (r *Registry) Lookup(path string) (*Session, bool) {
 	return e.(*Session), true
 }
 
+// GetOrCreateBytes is GetOrCreate keyed by a byte-slice view of the
+// path — the wire fastpath's entry point. When the store implements
+// store.BytesKeyed (both shipped stores do) a hit costs no allocation;
+// otherwise the key is cloned and the string method used.
+func (r *Registry) GetOrCreateBytes(path []byte) *Session {
+	if bk, ok := r.st.(store.BytesKeyed); ok {
+		return bk.GetOrCreateBytes(path).(*Session)
+	}
+	return r.st.GetOrCreate(string(path)).(*Session)
+}
+
+// LookupBytes is Lookup keyed by a byte-slice view of the path; see
+// GetOrCreateBytes.
+func (r *Registry) LookupBytes(path []byte) (*Session, bool) {
+	var (
+		e  store.Entry
+		ok bool
+	)
+	if bk, bok := r.st.(store.BytesKeyed); bok {
+		e, ok = bk.LookupBytes(path)
+	} else {
+		e, ok = r.st.Lookup(string(path))
+	}
+	if !ok {
+		return nil, false
+	}
+	return e.(*Session), true
+}
+
 // Peek returns the session for path without touching recency — for stats
 // and snapshots. On a spill store a cold session is served as a
 // transient decoded copy: reads are accurate, mutations are lost.

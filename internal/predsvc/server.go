@@ -105,13 +105,23 @@ func Open(cfg Config) (*Server, error) {
 		names[i] = f.name
 	}
 	s.metrics.setFamilyNames(names)
-	s.mux.Handle("POST /v1/observe", s.instrument(epObserve, s.handleObserve))
-	s.mux.Handle("POST /v1/measure", s.instrument(epMeasure, s.handleMeasure))
-	s.mux.Handle("GET /v1/predict", s.instrument(epPredict, s.handlePredict))
+	// The hot endpoints dispatch to the zero-alloc wire fastpath
+	// (wire.go) unless Config.DisableFastpath pins them to this file's
+	// reflection-based oracle handlers. Both produce byte-identical
+	// responses; the cold endpoints below always use the oracle.
+	hObserve, hMeasure, hPredict := s.handleObserve, s.handleMeasure, s.handlePredict
+	hObserveBatch, hPredictBatch := s.handleObserveBatch, s.handlePredictBatch
+	if !s.cfg.DisableFastpath {
+		hObserve, hMeasure, hPredict = s.handleObserveFast, s.handleMeasureFast, s.handlePredictFast
+		hObserveBatch, hPredictBatch = s.handleObserveBatchFast, s.handlePredictBatchFast
+	}
+	s.mux.Handle("POST /v1/observe", s.instrument(epObserve, hObserve))
+	s.mux.Handle("POST /v1/measure", s.instrument(epMeasure, hMeasure))
+	s.mux.Handle("GET /v1/predict", s.instrument(epPredict, hPredict))
 	s.mux.Handle("GET /v1/stats", s.instrument(epStats, s.handleStats))
 	s.mux.Handle("GET /debug/vars", s.instrument(epVars, s.handleVars))
-	s.mux.Handle("POST /v1/observe-batch", s.instrument(epObserveBatch, s.handleObserveBatch))
-	s.mux.Handle("POST /v1/predict-batch", s.instrument(epPredictBatch, s.handlePredictBatch))
+	s.mux.Handle("POST /v1/observe-batch", s.instrument(epObserveBatch, hObserveBatch))
+	s.mux.Handle("POST /v1/predict-batch", s.instrument(epPredictBatch, hPredictBatch))
 	s.mux.Handle("POST /v1/sessions/export", s.instrument(epSessionsExport, s.handleSessionsExport))
 	s.mux.Handle("POST /v1/sessions/import", s.instrument(epSessionsImport, s.handleSessionsImport))
 	s.mux.Handle("POST /v1/sessions/drop", s.instrument(epSessionsDrop, s.handleSessionsDrop))
@@ -165,7 +175,7 @@ func (r *Server) harden(next http.Handler) http.Handler {
 			default:
 				r.metrics.requestsShed.Add(1)
 				w.Header().Set("Retry-After", "1")
-				writeJSON(w, http.StatusTooManyRequests, apiError{Error: "overloaded: in-flight request cap reached, retry"})
+				writePre(w, http.StatusTooManyRequests, errBodyOverloaded)
 				return
 			}
 		}
@@ -458,8 +468,7 @@ func (r *Server) instrument(ep endpoint, h handlerFunc) http.Handler {
 func writeJSON(w http.ResponseWriter, status int, v any) int {
 	data, err := json.Marshal(v)
 	if err != nil {
-		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
-		return http.StatusInternalServerError
+		return writeEncodingFailure(w)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -468,8 +477,49 @@ func writeJSON(w http.ResponseWriter, status int, v any) int {
 	return status
 }
 
+// writeEncodingFailure is the shared 500 for values json cannot encode
+// (NaN/Inf forecasts); the fastpath and writeJSON both land here so the
+// two produce identical failure responses.
+func writeEncodingFailure(w http.ResponseWriter) int {
+	http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+	return http.StatusInternalServerError
+}
+
 func writeError(w http.ResponseWriter, status int, format string, args ...any) int {
+	if len(args) == 0 {
+		// Most error messages are constants; skip the Sprintf pass (which
+		// allocates even with no verbs to expand).
+		return writeJSON(w, status, apiError{Error: format})
+	}
 	return writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// Preformatted bodies (marshaled apiError plus the trailing newline, so
+// the wire bytes match writeError exactly) for the rejections hot enough
+// that load shedding and input validation must not allocate.
+var (
+	errBodyOverloaded     = preformatError("overloaded: in-flight request cap reached, retry")
+	errBodyMissingPath    = preformatError("missing path")
+	errBodyMissingPathQ   = preformatError("missing path query parameter")
+	errBodyBadThroughput  = preformatError("throughput_bps must be finite and positive")
+	errBodyBadMeasurement = preformatError("measurements must be finite and in range")
+)
+
+func preformatError(msg string) []byte {
+	data, err := json.Marshal(apiError{Error: msg})
+	if err != nil {
+		panic(err)
+	}
+	return append(data, '\n')
+}
+
+// writePre writes a preformatted JSON body (which already carries its
+// trailing newline) without any per-request allocation.
+func writePre(w http.ResponseWriter, status int, body []byte) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	return status
 }
 
 // maxBodyBytes bounds request bodies; observations are tiny.

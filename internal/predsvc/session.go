@@ -345,10 +345,27 @@ type Prediction struct {
 // deterministic: the response depends only on the sequence of Observe and
 // SetMeasurement calls the session has absorbed.
 func (s *Session) Predict() Prediction {
+	var p Prediction
+	s.PredictInto(&p, &FBState{})
+	return p
+}
+
+// PredictInto is Predict for callers that recycle response memory (the
+// wire fastpath keeps a pooled Prediction + FBState per request): the
+// HB/Families slices are truncated and refilled in place, and fb — which
+// must be non-nil — is overwritten and installed as p.FB when the
+// session has standing measurements. Every field of *p is reassigned, so
+// a recycled value never leaks state between paths.
+func (s *Session) PredictInto(p *Prediction, fb *FBState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	p := Prediction{Path: s.path, Observations: s.observations}
+	*p = Prediction{
+		Path:         s.path,
+		Observations: s.observations,
+		HB:           p.HB[:0],
+		Families:     p.Families[:0],
+	}
 	for _, f := range s.hbFamilies() {
 		fc, ok := f.hb.Predict()
 		st := PredictorState{Name: f.name, Ready: ok, ForecastBps: fc}
@@ -359,7 +376,7 @@ func (s *Session) Predict() Prediction {
 	if s.hasFB {
 		f := s.fb.Predict(s.fbIn)
 		age := s.observations - s.fbSetAtObs
-		fbState := &FBState{
+		*fb = FBState{
 			RTTSeconds:     s.fbIn.RTT,
 			LossRate:       s.fbIn.LossRate,
 			AvailBwBps:     s.fbIn.AvailBw,
@@ -368,8 +385,8 @@ func (s *Session) Predict() Prediction {
 			MeasurementAge: age,
 			Stale:          s.fbStaleLocked(),
 		}
-		fbState.RMSRE, _ = s.fbFamily().err.rmsre(s.cfg.ErrClamp)
-		p.FB = fbState
+		fb.RMSRE, _ = s.fbFamily().err.rmsre(s.cfg.ErrClamp)
+		p.FB = fb
 	}
 	p.Best, p.BestForecastBps = s.bestLocked(p)
 
@@ -406,7 +423,6 @@ func (s *Session) Predict() Prediction {
 			p.P10Bps, p.P50Bps, p.P90Bps = q.P10, q.P50, q.P90
 		}
 	}
-	return p
 }
 
 // selectLocked runs the tournament: the qualified family (ready,
@@ -465,7 +481,7 @@ func (s *Session) quantilesLocked(f *family, forecast float64) (predict.Quantile
 // first ready HB member and then to the FB forecast. It predates the
 // zoo tournament and covers only the paper ensemble (HB trio + FB), so
 // the original point-forecast API keeps its exact semantics.
-func (s *Session) bestLocked(p Prediction) (string, float64) {
+func (s *Session) bestLocked(p *Prediction) (string, float64) {
 	bestName, bestForecast := "", 0.0
 	bestRMSRE := math.Inf(1)
 	consider := func(name string, forecast, rmsre float64, n int, ready bool) {

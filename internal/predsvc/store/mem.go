@@ -2,7 +2,6 @@ package store
 
 import (
 	"container/list"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -92,10 +91,39 @@ func (m *MemStore) Shards() int { return len(m.shards) }
 // (per-shard capacity × shard count).
 func (m *MemStore) Capacity() int { return m.shards[0].capacity * len(m.shards) }
 
+// FNV-1a, inlined: hash/fnv's New64a costs a heap allocation per call
+// through the hash.Hash64 interface, which the request hot path cannot
+// afford. The constants are the standard ones, so shard assignment is
+// unchanged from the hash/fnv implementation this replaces.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64aString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnv64aBytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
 func (m *MemStore) shardFor(path string) *shard {
-	h := fnv.New64a()
-	h.Write([]byte(path))
-	return m.shards[h.Sum64()&m.mask]
+	return m.shards[fnv64aString(path)&m.mask]
+}
+
+func (m *MemStore) shardForBytes(path []byte) *shard {
+	return m.shards[fnv64aBytes(path)&m.mask]
 }
 
 // GetOrCreate returns the entry for path, creating it (and possibly
@@ -114,6 +142,42 @@ func (m *MemStore) GetOrCreate(path string) Entry {
 	entry := m.cfg.New(path)
 	m.putLocked(sh, path, entry)
 	return entry
+}
+
+// GetOrCreateBytes is GetOrCreate keyed by a byte-slice view of the
+// path, for wire decoders that never materialize a string: a hit costs
+// no allocation (the map lookup through string(path) is recognized by
+// the compiler), and only the miss path clones the key for insertion.
+func (m *MemStore) GetOrCreateBytes(path []byte) Entry {
+	sh := m.shardForBytes(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.elems[string(path)]; ok {
+		sh.lru.MoveToFront(e)
+		n := e.Value.(*memNode)
+		n.touch = m.touch.Add(1)
+		return n.e
+	}
+	key := string(path)
+	entry := m.cfg.New(key)
+	m.putLocked(sh, key, entry)
+	return entry
+}
+
+// LookupBytes is Lookup keyed by a byte-slice view of the path; a hit
+// costs no allocation.
+func (m *MemStore) LookupBytes(path []byte) (Entry, bool) {
+	sh := m.shardForBytes(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.elems[string(path)]
+	if !ok {
+		return nil, false
+	}
+	sh.lru.MoveToFront(e)
+	n := e.Value.(*memNode)
+	n.touch = m.touch.Add(1)
+	return n.e, true
 }
 
 // put inserts (or replaces) path's entry as most recently used, evicting

@@ -234,6 +234,43 @@ func (s *SpillStore) Lookup(path string) (Entry, bool) {
 	return nil, false
 }
 
+// GetOrCreateBytes is the BytesKeyed fastpath: a hot-tier hit costs no
+// allocation; the cold and miss paths clone the key (they do I/O or
+// construct a session anyway).
+func (s *SpillStore) GetOrCreateBytes(path []byte) Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.hot.LookupBytes(path); ok {
+		return e
+	}
+	p := string(path)
+	if ref, ok := s.cold[p]; ok {
+		if e, ok := s.faultIn(p, ref, true); ok {
+			s.hot.put(p, e)
+			return e
+		}
+	}
+	return s.hot.GetOrCreate(p)
+}
+
+// LookupBytes is the BytesKeyed fastpath: a hot-tier hit costs no
+// allocation; a cold promotion clones the key on its way to disk.
+func (s *SpillStore) LookupBytes(path []byte) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.hot.LookupBytes(path); ok {
+		return e, true
+	}
+	if ref, ok := s.cold[string(path)]; ok {
+		p := string(path)
+		if e, ok := s.faultIn(p, ref, true); ok {
+			s.hot.put(p, e)
+			return e, true
+		}
+	}
+	return nil, false
+}
+
 // Peek returns the entry for path without touching recency. A cold entry
 // comes back as a transient decoded copy: reads are accurate, mutations
 // are lost — for stats and snapshots only.

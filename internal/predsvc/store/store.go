@@ -94,6 +94,17 @@ type Store interface {
 	Close() error
 }
 
+// BytesKeyed is the optional fastpath interface for stores that can be
+// queried with a byte-slice view of the path, sparing the wire decoder a
+// string allocation per request. Semantics match GetOrCreate/Lookup
+// exactly (including recency); the key slice is only read during the
+// call and is never retained — implementations clone it if they must
+// insert. Callers type-assert and fall back to the string methods.
+type BytesKeyed interface {
+	GetOrCreateBytes(path []byte) Entry
+	LookupBytes(path []byte) (Entry, bool)
+}
+
 // nextPow2 returns the smallest power of two ≥ n (n ≥ 1).
 func nextPow2(n int) int {
 	p := 1

@@ -219,8 +219,97 @@ func Collect(cfg RunConfig) *Dataset {
 // joined into the returned error.
 func CollectContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	cfg = cfg.defaults()
-	paths := Catalog(cfg.Catalog)
+	jobs, pcs := campaignJobs(cfg)
+	hooks := newObsHooks(cfg.Obs)
+	runner := &campaign.Runner[Trace]{
+		Parallelism: cfg.Parallelism,
+		Retries:     max(cfg.Retries, 0),
+		Observer:    hooks.observer(cfg.Observer),
+	}
+	results, ctxErr := runner.Run(ctx, jobs, func(ctx context.Context, job campaign.Job, rep *campaign.Reporter) (Trace, error) {
+		return runTrace(ctx, cfg, pcs[job.Index], job, rep, hooks)
+	})
 
+	ds := &Dataset{Label: cfg.DatasetLabel()}
+	var errs []error
+	for _, res := range results {
+		switch {
+		case res.Err == nil:
+			ds.Traces = append(ds.Traces, res.Value)
+		case res.Attempts > 0 && !isContextErr(res.Err):
+			errs = append(errs, res.Err)
+		}
+	}
+	if ctxErr != nil {
+		errs = append(errs, ctxErr)
+	}
+	return ds, joinErrs(errs)
+}
+
+// CollectStream runs the same campaign as CollectContext but streams
+// each completed trace to sink in job order instead of materializing the
+// whole dataset: at any moment only the in-flight traces (one per
+// worker, plus the reorder buffer) are in memory, so a 10k-path campaign
+// runs in constant RSS when the sink writes traces straight to a
+// traceio.Writer. The stream is order-deterministic: equal configs feed
+// the sink the identical trace sequence regardless of Parallelism.
+//
+// A sink error cancels the campaign and is returned. Traces that failed
+// after all retries are skipped (never handed to the sink) and reported
+// joined in the returned error, like CollectContext; cancelling ctx
+// returns ctx.Err() after the traces already completed have been
+// delivered.
+func CollectStream(ctx context.Context, cfg RunConfig, sink func(Trace) error) error {
+	cfg = cfg.defaults()
+	jobs, pcs := campaignJobs(cfg)
+	hooks := newObsHooks(cfg.Obs)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var sinkErr error // written under the runner's delivery lock, read after Run
+	runner := &campaign.Runner[Trace]{
+		Parallelism: cfg.Parallelism,
+		Retries:     max(cfg.Retries, 0),
+		Observer:    hooks.observer(cfg.Observer),
+		Sink: func(res campaign.Result[Trace]) {
+			if sinkErr != nil || res.Err != nil {
+				return
+			}
+			if err := sink(res.Value); err != nil {
+				sinkErr = err
+				cancel()
+			}
+		},
+	}
+	results, ctxErr := runner.Run(ctx, jobs, func(ctx context.Context, job campaign.Job, rep *campaign.Reporter) (Trace, error) {
+		return runTrace(ctx, cfg, pcs[job.Index], job, rep, hooks)
+	})
+
+	var errs []error
+	for _, res := range results {
+		if res.Err != nil && res.Attempts > 0 && !isContextErr(res.Err) {
+			errs = append(errs, res.Err)
+		}
+	}
+	switch {
+	case sinkErr != nil:
+		// The context error is our own cancel; the sink failure is the cause.
+		errs = append(errs, sinkErr)
+	case ctxErr != nil:
+		errs = append(errs, ctxErr)
+	}
+	return joinErrs(errs)
+}
+
+// DatasetLabel is the label Collect stamps on the dataset for this
+// config, exposed so streaming writers can put it in their header.
+func (cfg RunConfig) DatasetLabel() string { return fmt.Sprintf("seed%d", cfg.Seed) }
+
+// campaignJobs expands the config into the campaign's job list plus the
+// per-job path configs, in the fixed order the determinism contract
+// keys on.
+func campaignJobs(cfg RunConfig) ([]campaign.Job, []PathConfig) {
+	paths := Catalog(cfg.Catalog)
 	jobs := make([]campaign.Job, 0, len(paths)*cfg.TracesPerPath)
 	pcs := make([]PathConfig, 0, cap(jobs))
 	for p, pc := range paths {
@@ -235,31 +324,7 @@ func CollectContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 			pcs = append(pcs, pc)
 		}
 	}
-
-	hooks := newObsHooks(cfg.Obs)
-	runner := &campaign.Runner[Trace]{
-		Parallelism: cfg.Parallelism,
-		Retries:     max(cfg.Retries, 0),
-		Observer:    hooks.observer(cfg.Observer),
-	}
-	results, ctxErr := runner.Run(ctx, jobs, func(ctx context.Context, job campaign.Job, rep *campaign.Reporter) (Trace, error) {
-		return runTrace(ctx, cfg, pcs[job.Index], job, rep, hooks)
-	})
-
-	ds := &Dataset{Label: fmt.Sprintf("seed%d", cfg.Seed)}
-	var errs []error
-	for _, res := range results {
-		switch {
-		case res.Err == nil:
-			ds.Traces = append(ds.Traces, res.Value)
-		case res.Attempts > 0 && !isContextErr(res.Err):
-			errs = append(errs, res.Err)
-		}
-	}
-	if ctxErr != nil {
-		errs = append(errs, ctxErr)
-	}
-	return ds, joinErrs(errs)
+	return jobs, pcs
 }
 
 // obsHooks bundles the testbed's observability wiring: the campaign

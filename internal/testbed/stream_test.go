@@ -1,0 +1,56 @@
+package testbed
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestCollectStreamMatchesCollect: the streamed trace sequence is the
+// same dataset CollectContext materializes — same traces, same order —
+// so streaming is purely an execution-memory choice, not a semantic one.
+func TestCollectStreamMatchesCollect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaign; skipped in -short mode")
+	}
+	cfg := TinyConfig(42)
+	cfg.Parallelism = 3
+	want, err := CollectContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Trace
+	if err := CollectStream(context.Background(), cfg, func(tr Trace) error {
+		got = append(got, tr)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Traces, got) {
+		t.Error("streamed traces differ from the materialized dataset")
+	}
+	if want.Label != cfg.DatasetLabel() {
+		t.Errorf("DatasetLabel %q does not match Collect's label %q", cfg.DatasetLabel(), want.Label)
+	}
+}
+
+// TestCollectStreamSinkErrorCancels: a failing sink stops the campaign
+// and surfaces its error.
+func TestCollectStreamSinkErrorCancels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaign; skipped in -short mode")
+	}
+	boom := errors.New("disk full")
+	calls := 0
+	err := CollectStream(context.Background(), TinyConfig(42), func(tr Trace) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the sink's error", err)
+	}
+	if calls != 1 {
+		t.Errorf("sink called %d times after failing, want 1", calls)
+	}
+}

@@ -1,0 +1,299 @@
+package traceio_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/testbed"
+	"repro/internal/traceio"
+)
+
+// TestStreamRoundTrip proves Writer → Load and Writer → Reader reproduce
+// the dataset exactly, compressed and not, and that Load cannot tell the
+// streaming form from the legacy one.
+func TestStreamRoundTrip(t *testing.T) {
+	for _, name := range []string{"ds.json", "ds.json.gz"} {
+		t.Run(name, func(t *testing.T) {
+			file := filepath.Join(t.TempDir(), name)
+			ds := sampleDataset()
+			w, err := traceio.NewWriter(file, ds.Label)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tr := range ds.Traces {
+				if err := w.WriteTrace(tr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if traces, epochs := w.Counts(); traces != 2 || epochs != 3 {
+				t.Fatalf("counts = %d traces/%d epochs, want 2/3", traces, epochs)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			got, err := traceio.Load(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ds, got) {
+				t.Error("Load round trip mismatch")
+			}
+
+			r, err := traceio.NewReader(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if r.Label() != ds.Label {
+				t.Errorf("label %q, want %q", r.Label(), ds.Label)
+			}
+			var traces []testbed.Trace
+			for {
+				tr, err := r.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				traces = append(traces, tr)
+			}
+			if !reflect.DeepEqual(ds.Traces, traces) {
+				t.Error("Reader round trip mismatch")
+			}
+			if trl, ok := r.Trailer(); !ok || trl.Traces != 2 || trl.Epochs != 3 || trl.Partial {
+				t.Errorf("trailer = %+v ok=%v, want 2 traces/3 epochs complete", trl, ok)
+			}
+		})
+	}
+}
+
+// TestSaveStreamEquivalent proves SaveStream and Save produce
+// Load-identical datasets.
+func TestSaveStreamEquivalent(t *testing.T) {
+	dir := t.TempDir()
+	ds := sampleDataset()
+	legacy := filepath.Join(dir, "legacy.json")
+	stream := filepath.Join(dir, "stream.json")
+	if err := traceio.Save(legacy, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := traceio.SaveStream(stream, ds); err != nil {
+		t.Fatal(err)
+	}
+	a, err := traceio.Load(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := traceio.Load(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("legacy and stream forms load differently")
+	}
+}
+
+// TestStreamPartial: ClosePartial yields a readable file that Load and
+// Reader both flag with ErrPartial — and LoadOrCollect must re-collect
+// rather than reuse it.
+func TestStreamPartial(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "partial.json")
+	ds := sampleDataset()
+	w, err := traceio.NewWriter(file, ds.Label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTrace(ds.Traces[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ClosePartial(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := traceio.Load(file)
+	if !errors.Is(err, traceio.ErrPartial) {
+		t.Fatalf("Load err = %v, want ErrPartial", err)
+	}
+	if len(got.Traces) != 1 || !reflect.DeepEqual(got.Traces[0], ds.Traces[0]) {
+		t.Error("partial load should still return the decoded prefix")
+	}
+
+	r, err := traceio.NewReader(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, traceio.ErrPartial) {
+		t.Fatalf("Next err = %v, want ErrPartial", err)
+	}
+	if trl, ok := r.Trailer(); !ok || !trl.Partial {
+		t.Errorf("trailer = %+v ok=%v, want partial", trl, ok)
+	}
+
+	// A partial file must not satisfy LoadOrCollect's reuse check.
+	cfg := testbed.RunConfig{
+		Seed:           7,
+		Catalog:        testbed.CatalogConfig{NumPaths: 1, MinCapBps: 3e6, MaxCapBps: 10e6},
+		TracesPerPath:  1,
+		EpochsPerTrace: 1,
+		PingDuration:   5,
+		TransferSec:    5,
+		EpochGap:       2,
+	}
+	re, err := traceio.LoadOrCollect(file, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Label != "seed7" {
+		t.Errorf("label %q: partial file was reused instead of re-collected", re.Label)
+	}
+	if got, err := traceio.Load(file); err != nil || got.Label != "seed7" {
+		t.Errorf("re-collected dataset not saved over the partial one (label %v, err %v)", got, err)
+	}
+}
+
+// TestStreamTruncated: a stream cut before its trailer is reported as
+// ErrTruncated, and one whose trailer counts disagree is rejected too.
+func TestStreamTruncated(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "full.json")
+	if err := traceio.SaveStream(file, sampleDataset()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+
+	torn := filepath.Join(dir, "torn.json")
+	if err := os.WriteFile(torn, []byte(strings.Join(lines[:len(lines)-2], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := traceio.Load(torn); !errors.Is(err, traceio.ErrTruncated) {
+		t.Errorf("torn Load err = %v, want ErrTruncated", err)
+	}
+
+	// Drop one epoch line but keep the trailer: counts disagree.
+	short := filepath.Join(dir, "short.json")
+	var kept []string
+	dropped := false
+	for _, ln := range lines {
+		if !dropped && strings.HasPrefix(ln, `{"epoch":`) {
+			dropped = true
+			continue
+		}
+		kept = append(kept, ln)
+	}
+	if !dropped {
+		t.Fatal("no epoch line found to drop")
+	}
+	if err := os.WriteFile(short, []byte(strings.Join(kept, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = traceio.Load(short)
+	if err == nil || !strings.Contains(err.Error(), "count mismatch") {
+		t.Errorf("short Load err = %v, want count mismatch", err)
+	}
+}
+
+// TestSaveAtomicUnderFault is the regression test for the old Save,
+// which closed and truncated in place: with a fault injected at the
+// write seam, both Save and Writer.Close must fail without disturbing
+// the previously saved dataset, and must leave no temp litter behind.
+func TestSaveAtomicUnderFault(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "ds.json")
+	ds := sampleDataset()
+	if err := traceio.Save(file, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	traceio.SetFaults(faultinject.New(1, faultinject.Rule{Site: traceio.SiteWrite, Every: 1}))
+	defer traceio.SetFaults(nil)
+
+	mutated := sampleDataset()
+	mutated.Label = "must-not-land"
+	if err := traceio.Save(file, mutated); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Save under fault err = %v, want ErrInjected", err)
+	}
+
+	w, err := traceio.NewWriter(file, mutated.Label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTrace(mutated.Traces[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Writer.Close under fault err = %v, want ErrInjected", err)
+	}
+
+	got, err := traceio.Load(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, got) {
+		t.Error("failed write clobbered the previous dataset")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "ds.json" {
+			t.Errorf("leftover file %q after failed writes", e.Name())
+		}
+	}
+}
+
+// TestWriterAbort discards the temp file and leaves the target alone.
+func TestWriterAbort(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "ds.json")
+	if err := traceio.Save(file, sampleDataset()); err != nil {
+		t.Fatal(err)
+	}
+	w, err := traceio.NewWriter(file, "abandoned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTrace(sampleDataset().Traces[0]); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	if err := w.Close(); err == nil {
+		t.Error("Close after Abort should error")
+	}
+	got, err := traceio.Load(file)
+	if err != nil || got.Label != "test" {
+		t.Errorf("Abort disturbed the target (label %q, err %v)", got.Label, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("Abort left temp litter: %v", entries)
+	}
+}
+
+// TestReaderRejectsLegacy: NewReader is stream-only; pointing it at a
+// legacy file is a clear error, not a silent empty read.
+func TestReaderRejectsLegacy(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "legacy.json")
+	if err := traceio.Save(file, sampleDataset()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := traceio.NewReader(file); err == nil {
+		t.Error("NewReader accepted a legacy whole-JSON file")
+	}
+}

@@ -16,8 +16,12 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-GATE='BenchmarkEngineEvents,BenchmarkTCPTransfer,BenchmarkHWLSOObserve,BenchmarkRegressionObserve,BenchmarkECMObserve'
+GATE='BenchmarkEngineEvents,BenchmarkTCPTransfer,BenchmarkHWLSOObserve,BenchmarkRegressionObserve,BenchmarkECMObserve,BenchmarkWireObserveDecode,BenchmarkWireObserveEncode,BenchmarkWirePredictEncode'
 MAX_REGRESS=25
+# The wire codec benches must also stay allocation-free: zero allocs/op is
+# the fastpath's contract, enforced absolutely (not as a percentage).
+ZERO_ALLOC='BenchmarkWireObserveDecode,BenchmarkWireObserveEncode,BenchmarkWirePredictEncode,BenchmarkWirePredictRoundTrip'
+WIRE_BENCH='BenchmarkWireObserveDecode|BenchmarkJSONObserveDecode|BenchmarkWireObserveEncode|BenchmarkJSONObserveEncode|BenchmarkWirePredictEncode|BenchmarkJSONPredictEncode|BenchmarkWirePredictRoundTrip|BenchmarkWireObserveHandler|BenchmarkOracleObserveHandler'
 
 short=0
 pr=""
@@ -56,11 +60,14 @@ if [ "$short" = 1 ]; then
     echo "==> go test -bench (short)"
     go test -bench 'BenchmarkEngineEvents|BenchmarkEngineSchedCancel|BenchmarkPacketPath|BenchmarkQueueForwarding|BenchmarkTCPTransfer|BenchmarkHWLSOObserve|BenchmarkPFTK|BenchmarkRegressionObserve|BenchmarkECMObserve' \
         -benchmem -benchtime 0.3s -run '^$' -count 1 . | tee "$tmp/bench.txt"
+    echo "==> go test -bench wire codec (short)"
+    go test -bench "$WIRE_BENCH" \
+        -benchmem -benchtime 0.3s -run '^$' -count 1 ./internal/predsvc | tee -a "$tmp/bench.txt"
     go run ./cmd/benchjson parse -label short <"$tmp/bench.txt" >"$tmp/new.json"
     if [ -n "$latest" ]; then
-        echo "==> compare vs $latest (gate: >$MAX_REGRESS% on $GATE)"
+        echo "==> compare vs $latest (gate: >$MAX_REGRESS% on $GATE; 0 allocs on $ZERO_ALLOC)"
         go run ./cmd/benchjson compare -old "$latest" -new "$tmp/new.json" \
-            -gate "$GATE" -max-regress "$MAX_REGRESS"
+            -gate "$GATE" -max-regress "$MAX_REGRESS" -zero-alloc "$ZERO_ALLOC"
     else
         echo "WARNING: no committed BENCH_*.json baseline found; skipping the regression gate." >&2
         echo "         Run 'scripts/bench.sh' on a healthy tree and commit the BENCH_<n>.json it writes." >&2
@@ -81,13 +88,16 @@ out="BENCH_${pr}.json"
 
 echo "==> go test -bench . -count 3 (writes $out)"
 go test -bench . -benchmem -run '^$' -count 3 . | tee "$tmp/bench.txt"
+echo "==> go test -bench wire codec -count 3"
+go test -bench "$WIRE_BENCH" \
+    -benchmem -run '^$' -count 3 ./internal/predsvc | tee -a "$tmp/bench.txt"
 
 if [ -n "$latest" ] && [ "$latest" != "$out" ]; then
     # Embed the previous tree's numbers so the file carries before/after.
     go run ./cmd/benchjson parse -label "pr$pr" <"$tmp/bench.txt" >"$tmp/new.json"
-    echo "==> compare vs $latest (gate: >$MAX_REGRESS% on $GATE)"
+    echo "==> compare vs $latest (gate: >$MAX_REGRESS% on $GATE; 0 allocs on $ZERO_ALLOC)"
     go run ./cmd/benchjson compare -old "$latest" -new "$tmp/new.json" \
-        -gate "$GATE" -max-regress "$MAX_REGRESS"
+        -gate "$GATE" -max-regress "$MAX_REGRESS" -zero-alloc "$ZERO_ALLOC"
     cp "$tmp/new.json" "$out"
 else
     go run ./cmd/benchjson parse -label "pr$pr" <"$tmp/bench.txt" >"$out"
