@@ -43,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "campaign seed for on-the-fly collection")
 	d1Path := flag.String("d1", "", "primary dataset path (default data/d1-seed<seed>.json.gz)")
 	d2Path := flag.String("d2", "", "second dataset path (default data/d2-seed<seed>.json.gz)")
+	ccPath := flag.String("cc", "", "scenario-matrix dataset path for ext-cc (default data/cc-seed<seed>.json.gz)")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. fig2,fig19)")
 	full := flag.Bool("full", false, "collect at the paper's full scale when datasets are absent")
 	csvDir := flag.String("csv", "", "also export each experiment's tables/series as CSV into this directory")
@@ -94,6 +95,9 @@ func main() {
 	if *d2Path == "" {
 		*d2Path = fmt.Sprintf("data/d2-seed%d.json.gz", *seed)
 	}
+	if *ccPath == "" {
+		*ccPath = fmt.Sprintf("data/cc-seed%d.json.gz", *seed)
+	}
 
 	cfg1 := testbed.DefaultScaled(*seed)
 	cfg2 := testbed.SecondSet(*seed, true)
@@ -114,17 +118,6 @@ func main() {
 	}
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
 
-	start := time.Now()
-	ds1, err := traceio.LoadOrCollectContext(ctx, *d1Path, cfg1)
-	if err != nil {
-		log.Fatalf("dataset 1: %v", err)
-	}
-	log.Printf("dataset 1: %d traces / %d epochs (%v)", len(ds1.Traces), ds1.Epochs(), time.Since(start).Round(time.Second))
-
-	// The base transfer interval (for Fig 23's axis labels) follows from
-	// the epoch structure; the paper's is ~3 min.
-	baseIntervalMin := epochMinutes(cfg1)
-
 	emit := func(res experiments.Result) {
 		if !selected(res.ID) {
 			return
@@ -136,15 +129,50 @@ func main() {
 			}
 		}
 	}
-	for _, res := range experiments.All(ds1, baseIntervalMin) {
-		emit(res)
+
+	// Every experiment except ext-cc reads the primary dataset; when the
+	// selection is ext-cc only, skip d1 entirely so CI's scenario gate
+	// never pays for (or accidentally collects) the primary campaign.
+	needD1 := len(want) == 0
+	for id := range want {
+		if id != "ext-cc" {
+			needD1 = true
+		}
 	}
-	for _, res := range experiments.Extensions(ds1) {
-		emit(res)
+	if needD1 {
+		start := time.Now()
+		ds1, err := traceio.LoadOrCollectContext(ctx, *d1Path, cfg1)
+		if err != nil {
+			log.Fatalf("dataset 1: %v", err)
+		}
+		log.Printf("dataset 1: %d traces / %d epochs (%v)", len(ds1.Traces), ds1.Epochs(), time.Since(start).Round(time.Second))
+
+		// The base transfer interval (for Fig 23's axis labels) follows
+		// from the epoch structure; the paper's is ~3 min.
+		baseIntervalMin := epochMinutes(cfg1)
+		for _, res := range experiments.All(ds1, baseIntervalMin) {
+			emit(res)
+		}
+		for _, res := range experiments.Extensions(ds1) {
+			emit(res)
+		}
+	}
+
+	if selected("ext-cc") {
+		start := time.Now()
+		cfgCC := testbed.ScenarioScaled(*seed, testbed.ScenarioConfig{})
+		cfgCC.Observer = prog
+		cfgCC.Obs = telemetry
+		dsCC, err := traceio.LoadOrCollectContext(ctx, *ccPath, cfgCC)
+		if err != nil {
+			log.Fatalf("scenario dataset: %v", err)
+		}
+		log.Printf("scenario dataset: %d traces / %d epochs (%v)", len(dsCC.Traces), dsCC.Epochs(), time.Since(start).Round(time.Second))
+		emit(experiments.ExtCC(dsCC))
 	}
 
 	if selected("fig11") {
-		start = time.Now()
+		start := time.Now()
 		ds2, err := traceio.LoadOrCollectContext(ctx, *d2Path, cfg2)
 		if err != nil {
 			log.Fatalf("dataset 2: %v", err)

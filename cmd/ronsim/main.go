@@ -4,6 +4,7 @@
 // Usage:
 //
 //	ronsim [-out data/d1.json.gz] [-seed 1] [-full] [-second]
+//	       [-scenarios] [-per-scenario N]
 //	       [-workers N] [-progress bar|jsonl|off] [-retries N]
 //	       [-paths N] [-traces N] [-epochs N] [-stream=false]
 //	       [-obs-addr :6060] [-obs-dump dir]
@@ -11,6 +12,9 @@
 // By default a scaled-down campaign runs (12 paths × 2 traces × 40 epochs);
 // -full restores the paper's 35 × 7 × 150 scale (slow). -second collects
 // the Mar-2006-style second dataset with 120 s checkpointed transfers.
+// -scenarios collects the CC × link scenario matrix (reno/cubic/bbr
+// senders over droptail/randomdrop/cellular/rwnd-limited bottlenecks,
+// -per-scenario paths per cell) for the ext-cc experiment.
 // -paths/-traces/-epochs shrink (or grow) any scale — CI uses them to make
 // a seconds-long run that still exercises the whole pipeline.
 //
@@ -58,6 +62,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "campaign seed")
 	full := flag.Bool("full", false, "run at the paper's full scale (35x7x150; slow)")
 	second := flag.Bool("second", false, "collect the second (120s-transfer) dataset for Fig 11")
+	scenarios := flag.Bool("scenarios", false, "collect the CC × link scenario-matrix dataset for ext-cc")
+	perScenario := flag.Int("per-scenario", 0, "scenario mode: paths per (sender × link) cell (0 = 1)")
 	workers := flag.Int("workers", 0, "parallel trace workers (0 = GOMAXPROCS)")
 	progress := flag.String("progress", "bar", "progress reporting: bar | jsonl | off")
 	retries := flag.Int("retries", 1, "retries per faulted trace (same seed); negative disables")
@@ -72,6 +78,9 @@ func main() {
 	var cfg testbed.RunConfig
 	name := "d1"
 	switch {
+	case *scenarios:
+		cfg = testbed.ScenarioScaled(*seed, testbed.ScenarioConfig{PathsPerScenario: *perScenario})
+		name = "cc"
 	case *second:
 		cfg = testbed.SecondSet(*seed, !*full)
 		name = "d2"
@@ -82,7 +91,7 @@ func main() {
 	}
 	cfg.Parallelism = *workers
 	cfg.Retries = *retries
-	if *paths > 0 {
+	if *paths > 0 && !*scenarios {
 		cfg.Catalog.NumPaths = *paths
 		// Keep the special-class counts inside the shrunken catalog.
 		cfg.Catalog.NumDSL = min(cfg.Catalog.NumDSL, *paths/3)

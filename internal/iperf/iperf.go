@@ -24,6 +24,13 @@ type Report struct {
 	Timeouts      int64
 	LossEvents    int64
 	SegmentsSent  int64
+	// CC-agnostic sender state at the end of the transfer (see
+	// tcpsim.SenderStats): defined for every congestion control, unlike
+	// cwnd/ssthresh.
+	CC               tcpsim.Congestion
+	PacingRateBps    float64
+	DeliveryRateBps  float64
+	RecoveryEpisodes int64
 	// Checkpoints holds goodput over the first d seconds for each requested
 	// checkpoint duration, aligned with Config.Checkpoints.
 	Checkpoints []float64
@@ -77,6 +84,11 @@ func Run(eng *sim.Engine, path *netem.Path, flow netem.FlowID, cfg Config) Repor
 	rep.Timeouts = st.Timeouts
 	rep.LossEvents = st.LossEvents
 	rep.SegmentsSent = st.SegmentsSent
+	ss := conn.Sender.SenderStats()
+	rep.CC = ss.CC
+	rep.PacingRateBps = ss.PacingRateBps
+	rep.DeliveryRateBps = ss.DeliveryRateBps
+	rep.RecoveryEpisodes = ss.RecoveryEpisodes
 	return rep
 }
 

@@ -14,6 +14,10 @@ type Hop struct {
 	BufferPackets int     // optional packet-count limit (router-style buffers)
 	LossProb      float64 // random (non-congestive) per-packet loss probability
 	RED           bool    // enable RED/AQM dropping (see Queue)
+	// Rate optionally makes the hop variable-rate (see Queue.Rate). The
+	// schedule is shared by reference: a spec whose Reverse mirrors
+	// Forward sees the same trajectory in both directions.
+	Rate *RateSchedule
 }
 
 // PathSpec describes a bidirectional path. Reverse may be empty, in which
@@ -77,6 +81,7 @@ func buildChain(eng *sim.Engine, rng *sim.RNG, prefix string, hops []Hop, sink R
 		q.LossProb = h.LossProb
 		q.BufferPackets = h.BufferPackets
 		q.RED = h.RED
+		q.Rate = h.Rate
 		queues[i] = q
 		next = q
 	}

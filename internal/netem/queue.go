@@ -57,7 +57,11 @@ type Queue struct {
 	// transmitted after it — the classic cause of spurious duplicate ACKs.
 	ReorderProb  float64
 	ReorderDelay float64 // default: one propagation delay
-	Next         Receiver
+	// Rate, when non-nil, scales the link capacity over time (a
+	// cellular-style variable-rate link): each packet serializes at
+	// CapacityBps × Rate.At(t) sampled at its transmission start.
+	Rate *RateSchedule
+	Next Receiver
 
 	eng     *sim.Engine
 	rng     *sim.RNG
@@ -213,6 +217,9 @@ func (q *Queue) transmitNext() {
 	}
 	q.qBytes -= pkt.Size
 	tx := q.TransmissionTime(pkt.Size)
+	if q.Rate != nil {
+		tx /= q.Rate.At(q.eng.Now())
+	}
 	q.eng.Schedule(tx, func() {
 		q.stats.Departures++
 		q.stats.BytesOut += int64(pkt.Size)

@@ -33,6 +33,10 @@ type Config struct {
 	MinRTO          float64 // minimum RTO (default 1 s, per RFC 6298)
 	MaxRTO          float64 // maximum RTO (default 60 s)
 	NoSACK          bool    // disable SACK; fall back to NewReno recovery
+
+	// Congestion selects the congestion-control algorithm (CCReno,
+	// CCCubic, CCBBR). Empty means CCReno, the paper-era default.
+	Congestion Congestion
 }
 
 // Defaults fills unset fields with standard values and returns the result.
@@ -60,6 +64,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.MaxRTO == 0 {
 		c.MaxRTO = 60.0
+	}
+	if c.Congestion == "" {
+		c.Congestion = CCReno
 	}
 	return c
 }
@@ -153,14 +160,19 @@ type Sender struct {
 	// Sequence space is counted in segments.
 	nextSeq    int64
 	highestAck int64 // first unacknowledged segment
-	segs       map[int64]*segState
-	pipe       int // conservation-of-packets estimate of segments in flight
+	// segs is a power-of-two ring over the advertised window: every live
+	// sequence (highestAck ≤ seq < nextSeq, a span trySend bounds by
+	// maxWindowSegs) owns a distinct slot, retired slots are re-zeroed by
+	// the cumulative ACK, so steady state allocates nothing.
+	segs    []segState
+	segMask int64
+	pipe    int // conservation-of-packets estimate of segments in flight
 
-	cwnd       float64 // segments
-	ssthresh   float64 // segments
+	cc         CongestionControl
 	dupAcks    int
 	inRecovery bool
 	recover    int64 // nextSeq at loss detection
+	sackedNow  int64 // segments newly SACKed by the ACK being processed
 
 	// SACK scoreboard.
 	scoreboard blockList
@@ -178,6 +190,14 @@ type Sender struct {
 	rto          float64
 	backoff      int
 	rtoTimer     sim.Timer
+	rtoFn        func() // cached s.onTimeout closure (no per-arm allocation)
+
+	// Delivery-rate sampling for SenderStats: segments delivered
+	// (cumulatively acked or SACKed) over wall-clock windows of ~1 SRTT.
+	delivered    int64
+	drMarkDeliv  int64
+	drMarkStamp  float64
+	deliveryRate float64 // bytes/sec, most recent completed sample
 
 	// Timed-segment RTT sampling (Karn's algorithm).
 	timing   bool
@@ -197,15 +217,23 @@ type Sender struct {
 func NewSender(eng *sim.Engine, ep *netem.Endpoint, flow netem.FlowID, cfg Config) *Sender {
 	cfg = cfg.Defaults()
 	s := &Sender{
-		cfg:      cfg,
-		eng:      eng,
-		out:      ep,
-		flow:     flow,
-		segs:     make(map[int64]*segState),
-		cwnd:     cfg.InitialCwnd,
-		ssthresh: cfg.InitialSsthresh,
-		rto:      3.0, // RFC 6298 initial RTO
+		cfg:  cfg,
+		eng:  eng,
+		out:  ep,
+		flow: flow,
+		cc:   NewCongestionControl(cfg),
+		rto:  3.0, // RFC 6298 initial RTO
 	}
+	// Ring capacity: the smallest power of two that holds every sequence
+	// in one advertised window (span ≤ maxWindowSegs, so maxWindowSegs+1
+	// distinct slots suffice).
+	ringSize := int64(1)
+	for ringSize < s.maxWindowSegs()+1 {
+		ringSize <<= 1
+	}
+	s.segs = make([]segState, ringSize)
+	s.segMask = ringSize - 1
+	s.rtoFn = s.onTimeout
 	ep.Register(flow, netem.ReceiverFunc(s.onAck))
 	return s
 }
@@ -225,6 +253,7 @@ func (s *Sender) SetLimit(n int64, done func()) {
 // Start begins transmitting.
 func (s *Sender) Start() {
 	s.stats.Start = s.eng.Now()
+	s.drMarkStamp = s.eng.Now()
 	s.trySend()
 }
 
@@ -245,10 +274,11 @@ func (s *Sender) Stats() *Stats { return &s.stats }
 func (s *Sender) BytesAcked() int64 { return s.stats.BytesAcked }
 
 // Cwnd returns the current congestion window in segments.
-func (s *Sender) Cwnd() float64 { return s.cwnd }
+func (s *Sender) Cwnd() float64 { return s.cc.Window() }
 
-// Ssthresh returns the current slow-start threshold in segments.
-func (s *Sender) Ssthresh() float64 { return s.ssthresh }
+// Ssthresh returns the current slow-start threshold in segments (+Inf for
+// controls without one).
+func (s *Sender) Ssthresh() float64 { return s.cc.Ssthresh() }
 
 // InRecovery reports whether the sender is in loss recovery.
 func (s *Sender) InRecovery() bool { return s.inRecovery }
@@ -262,6 +292,39 @@ func (s *Sender) SRTT() float64 { return s.srtt }
 // Pipe returns the current in-flight estimate in segments.
 func (s *Sender) Pipe() int { return s.pipe }
 
+// SenderStats is a congestion-control-agnostic snapshot of a sender's
+// rate state. Unlike Cwnd/Ssthresh — whose meaning is Reno-specific and
+// degenerate under other controls (BBR has no ssthresh) — these fields
+// are defined for every algorithm, so testbed epochs and obs metrics can
+// record them without knowing which variant ran.
+type SenderStats struct {
+	CC               Congestion // algorithm that produced these numbers
+	WindowSegments   float64    // current send window, segments
+	PacingRateBps    float64    // window/SRTT in payload bits/sec (0 before an RTT sample)
+	DeliveryRateBps  float64    // most recent measured delivery rate, payload bits/sec
+	RecoveryEpisodes int64      // fast-recovery episodes entered
+	Timeouts         int64      // RTO expirations
+	SRTT             float64    // smoothed RTT, seconds
+	MinRTT           float64    // lowest RTT sample, seconds
+}
+
+// SenderStats snapshots the sender's CC-agnostic rate state.
+func (s *Sender) SenderStats() SenderStats {
+	st := SenderStats{
+		CC:               s.cc.Name(),
+		WindowSegments:   s.cc.Window(),
+		DeliveryRateBps:  s.deliveryRate,
+		RecoveryEpisodes: s.stats.FastRetransmits,
+		Timeouts:         s.stats.Timeouts,
+		SRTT:             s.srtt,
+		MinRTT:           s.stats.MinRTT(),
+	}
+	if s.srtt > 0 {
+		st.PacingRateBps = st.WindowSegments * float64(s.cfg.MSS) * 8 / s.srtt
+	}
+	return st
+}
+
 func (s *Sender) maxWindowSegs() int64 {
 	w := int64(s.cfg.MaxWindowBytes) / int64(s.cfg.MSS)
 	if w < 1 {
@@ -270,13 +333,13 @@ func (s *Sender) maxWindowSegs() int64 {
 	return w
 }
 
+// seg returns the ring slot for seq. Valid only for live sequences
+// (highestAck ≤ seq < nextSeq, plus nextSeq itself at transmit time);
+// slots are zeroed when the cumulative ACK retires them, so a fresh
+// sequence always starts from the zero value — exactly what the old
+// map-of-pointers handed out on first touch.
 func (s *Sender) seg(seq int64) *segState {
-	st, ok := s.segs[seq]
-	if !ok {
-		st = &segState{}
-		s.segs[seq] = st
-	}
-	return st
+	return &s.segs[seq&s.segMask]
 }
 
 // trySend transmits as much as the congestion and advertised windows
@@ -285,7 +348,7 @@ func (s *Sender) trySend() {
 	if s.stopped {
 		return
 	}
-	capSegs := s.cwnd
+	capSegs := s.cc.Window()
 	if !s.inRecovery && s.dupAcks > 0 {
 		// Limited Transmit (RFC 3042): the first two duplicate ACKs may
 		// clock out new segments, avoiding an RTO when the window is too
@@ -323,8 +386,8 @@ func (s *Sender) nextLost() (int64, bool) {
 		s.rtxCursor = s.highestAck
 	}
 	for ; s.rtxCursor < s.nextSeq; s.rtxCursor++ {
-		st, ok := s.segs[s.rtxCursor]
-		if !ok || st.sacked || !st.lost || st.inFlight > 0 {
+		st := s.seg(s.rtxCursor)
+		if st.sacked || !st.lost || st.inFlight > 0 {
 			continue
 		}
 		return s.rtxCursor, true
@@ -366,7 +429,7 @@ func (s *Sender) armRTO() {
 	if d > s.cfg.MaxRTO {
 		d = s.cfg.MaxRTO
 	}
-	s.rtoTimer = s.eng.Schedule(d, s.onTimeout)
+	s.rtoTimer = s.eng.Schedule(d, s.rtoFn)
 }
 
 func (s *Sender) onTimeout() {
@@ -375,12 +438,7 @@ func (s *Sender) onTimeout() {
 	}
 	s.stats.Timeouts++
 	s.stats.LossEvents++
-	half := s.cwnd / 2
-	if half < 2 {
-		half = 2
-	}
-	s.ssthresh = half
-	s.cwnd = 1
+	s.cc.OnTimeout(s.eng.Now())
 	s.dupAcks = 0
 	s.inRecovery = false
 	s.backoff++
@@ -391,8 +449,8 @@ func (s *Sender) onTimeout() {
 	// Everything unsacked and outstanding is presumed lost; retransmission
 	// restarts from the left edge (go-back-N over the holes).
 	for seq := s.highestAck; seq < s.nextSeq; seq++ {
-		st, ok := s.segs[seq]
-		if !ok || st.sacked {
+		st := s.seg(seq)
+		if st.sacked {
 			continue
 		}
 		if !st.lost || st.inFlight > 0 {
@@ -434,6 +492,7 @@ func (s *Sender) recordRTT(rtt float64) {
 	if s.rto > s.cfg.MaxRTO {
 		s.rto = s.cfg.MaxRTO
 	}
+	s.cc.OnRTT(rtt, s.eng.Now())
 }
 
 func (s *Sender) onAck(pkt *netem.Packet) {
@@ -442,6 +501,7 @@ func (s *Sender) onAck(pkt *netem.Packet) {
 		return
 	}
 	s.stats.AcksReceived++
+	s.sackedNow = 0
 	if !s.cfg.NoSACK {
 		if blocks, ok := pkt.Meta.([]Block); ok {
 			s.processSACK(blocks)
@@ -457,9 +517,28 @@ func (s *Sender) onAck(pkt *netem.Packet) {
 	case ack == s.highestAck:
 		s.onDupAck()
 	}
+	s.sampleDeliveryRate(s.eng.Now())
 	s.declareLosses()
 	s.maybeEnterRecovery()
 	s.trySend()
+}
+
+// sampleDeliveryRate closes a delivery-rate measurement window once it
+// spans at least one SRTT (10 ms floor before the first RTT sample).
+func (s *Sender) sampleDeliveryRate(now float64) {
+	interval := s.srtt
+	if interval < 0.01 {
+		interval = 0.01
+	}
+	elapsed := now - s.drMarkStamp
+	if elapsed < interval {
+		return
+	}
+	if n := s.delivered - s.drMarkDeliv; n > 0 {
+		s.deliveryRate = float64(n) * float64(s.cfg.MSS) * 8 / elapsed
+	}
+	s.drMarkDeliv = s.delivered
+	s.drMarkStamp = now
 }
 
 // processSACK merges the receiver-reported blocks into the scoreboard and
@@ -478,11 +557,13 @@ func (s *Sender) processSACK(blocks []Block) {
 		}
 		for _, nb := range s.scoreboard.Subtract(start, end) {
 			for seq := nb.Start; seq < nb.End; seq++ {
-				st, ok := s.segs[seq]
-				if !ok || st.sacked {
+				st := s.seg(seq)
+				if st.sacked {
 					continue
 				}
 				st.sacked = true
+				s.sackedNow++
+				s.delivered++
 				s.pipe -= int(st.inFlight)
 				st.inFlight = 0
 			}
@@ -508,8 +589,8 @@ func (s *Sender) declareLosses() {
 	}
 	limit := s.highSacked - dupThresh
 	for ; s.lossScan < limit; s.lossScan++ {
-		st, ok := s.segs[s.lossScan]
-		if !ok || st.sacked || st.lost {
+		st := s.seg(s.lossScan)
+		if st.sacked || st.lost {
 			continue
 		}
 		if st.rtx && st.inFlight > 0 {
@@ -545,12 +626,7 @@ func (s *Sender) maybeEnterRecovery() {
 	s.stats.FastRetransmits++
 	s.inRecovery = true
 	s.recover = s.nextSeq
-	half := s.cwnd / 2
-	if half < 2 {
-		half = 2
-	}
-	s.ssthresh = half
-	s.cwnd = s.ssthresh
+	s.cc.OnEnterRecovery(s.pipe, s.eng.Now())
 	// The left edge is lost by definition of the trigger.
 	st := s.seg(s.highestAck)
 	if !st.sacked && !st.lost {
@@ -582,8 +658,8 @@ func (s *Sender) virtualDeliver() {
 		s.vackCursor = s.highestAck + 1
 	}
 	for ; s.vackCursor < s.nextSeq; s.vackCursor++ {
-		st, ok := s.segs[s.vackCursor]
-		if !ok || st.inFlight == 0 {
+		st := s.seg(s.vackCursor)
+		if st.inFlight == 0 {
 			continue
 		}
 		st.inFlight--
@@ -599,10 +675,7 @@ func (s *Sender) onNewAck(ack int64) {
 	s.backoff = 0
 	// Retire acked segments from the pipe and take the RTT sample.
 	for seq := s.highestAck; seq < ack; seq++ {
-		st, ok := s.segs[seq]
-		if !ok {
-			continue
-		}
+		st := s.seg(seq)
 		if s.timing && seq == s.timedSeq {
 			if !st.rtx {
 				s.recordRTT(s.eng.Now() - s.timedAt)
@@ -610,21 +683,30 @@ func (s *Sender) onNewAck(ack int64) {
 			s.timing = false
 		}
 		s.pipe -= int(st.inFlight)
-		delete(s.segs, seq)
+		if !st.sacked {
+			s.delivered++
+		}
+		*st = segState{} // the slot is free for seq+ringSize
 	}
 	if s.pipe < 0 {
 		s.pipe = 0
 	}
+	acked := ack - s.highestAck
 	s.highestAck = ack
 	s.scoreboard.TrimBelow(ack)
 	if s.lossScan < ack {
 		s.lossScan = ack
 	}
 
+	// Growth and the recovery exit both belong to the congestion control,
+	// but the exit ACK must not also count as a growth ACK (the pre-seam
+	// code's if/else), so OnAck sees the recovery state from before the
+	// exit was processed.
+	wasInRecovery := s.inRecovery
 	if s.inRecovery {
 		if ack >= s.recover {
 			s.inRecovery = false
-			s.cwnd = s.ssthresh
+			s.cc.OnExitRecovery(s.eng.Now())
 			s.dupAcks = 0
 		} else if s.cfg.NoSACK {
 			// NewReno partial ACK: the next hole is the segment at the new
@@ -644,19 +726,14 @@ func (s *Sender) onNewAck(ack int64) {
 		}
 	} else {
 		s.dupAcks = 0
-		// Per-ACK window growth (RFC 2581, no byte counting): with
-		// delayed ACKs this is what the throughput formulas' b = 2
-		// models — slow start doubles every two RTTs, congestion
-		// avoidance adds half a segment per RTT.
-		if s.cwnd < s.ssthresh {
-			s.cwnd++
-			if s.cwnd > s.ssthresh && !math.IsInf(s.ssthresh, 1) {
-				s.cwnd = s.ssthresh
-			}
-		} else {
-			s.cwnd += 1 / s.cwnd
-		}
 	}
+	s.cc.OnAck(AckInfo{
+		Acked:      acked,
+		Sacked:     s.sackedNow,
+		Pipe:       s.pipe,
+		Now:        s.eng.Now(),
+		InRecovery: wasInRecovery,
+	})
 
 	if s.nextSeq > s.highestAck {
 		s.armRTO()
@@ -704,4 +781,13 @@ func (s *Sender) onDupAck() {
 			}
 		}
 	}
+	// No cumulative progress, but the SACK scoreboard may have moved:
+	// delivery-model controls (BBR) account for it; window-based ones
+	// ignore Acked == 0.
+	s.cc.OnAck(AckInfo{
+		Sacked:     s.sackedNow,
+		Pipe:       s.pipe,
+		Now:        s.eng.Now(),
+		InRecovery: s.inRecovery,
+	})
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/tcpsim"
 )
 
 // PathClass labels where a simulated path "is", mirroring the composition
@@ -36,6 +37,13 @@ type PathConfig struct {
 	ElasticFlows    int     // persistent TCP cross flows
 	ElasticRTTs     []float64
 	LoadCfg         netem.LoadConfig // trace-scale load variation
+
+	// Scenario-matrix extensions (see scenario.go). Zero values give the
+	// paper's behavior: a Reno sender over a droptail path at the
+	// campaign's large window.
+	CC                tcpsim.Congestion // congestion control of the target transfer
+	LinkType          LinkType          // bottleneck regime label, recorded per epoch
+	TargetWindowBytes int               // per-path override of the target transfer's window
 }
 
 // BottleneckBps returns the configured bottleneck capacity.

@@ -29,6 +29,15 @@ type EpochRecord struct {
 	LossEvents    int64   `json:"loss_events"`
 	SegmentsSent  int64   `json:"segments_sent"`
 
+	// Scenario-matrix identity and CC-agnostic sender state (PR 10).
+	// Empty/zero on paper-default campaigns so legacy datasets and the
+	// committed seeds keep their byte layout.
+	CC               string  `json:"cc,omitempty"`                // congestion control of the target transfer
+	Link             string  `json:"link,omitempty"`              // bottleneck link regime (LinkType)
+	PacingRate       float64 `json:"pacing_rate,omitempty"`       // window/SRTT at transfer end, bps
+	DeliveryRate     float64 `json:"delivery_rate,omitempty"`     // measured delivery rate at transfer end, bps
+	RecoveryEpisodes int64   `json:"recovery_episodes,omitempty"` // fast-recovery episodes during the transfer
+
 	// Prefix throughputs for the requested checkpoint durations (D2).
 	Checkpoints []float64 `json:"checkpoints,omitempty"`
 

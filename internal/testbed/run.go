@@ -45,8 +45,11 @@ const (
 // RunConfig controls a measurement campaign. Zero fields take the paper's
 // values via defaults().
 type RunConfig struct {
-	Seed           int64
-	Catalog        CatalogConfig
+	Seed    int64
+	Catalog CatalogConfig
+	// Paths, when non-empty, replaces the generated catalog: the
+	// campaign runs exactly these paths (the scenario matrix uses this).
+	Paths          []PathConfig
 	TracesPerPath  int     // paper: 7
 	EpochsPerTrace int     // paper: 150
 	PingDuration   float64 // paper: 60 s
@@ -309,7 +312,10 @@ func (cfg RunConfig) DatasetLabel() string { return fmt.Sprintf("seed%d", cfg.Se
 // per-job path configs, in the fixed order the determinism contract
 // keys on.
 func campaignJobs(cfg RunConfig) ([]campaign.Job, []PathConfig) {
-	paths := Catalog(cfg.Catalog)
+	paths := cfg.Paths
+	if len(paths) == 0 {
+		paths = Catalog(cfg.Catalog)
+	}
 	jobs := make([]campaign.Job, 0, len(paths)*cfg.TracesPerPath)
 	pcs := make([]PathConfig, 0, cap(jobs))
 	for p, pc := range paths {
@@ -562,10 +568,16 @@ func runEpoch(cfg RunConfig, pc PathConfig, eng *sim.Engine, path *netem.Path, p
 	sp.End()
 
 	// Phase 3: the target transfer, with probing continuing → (T̃, p̃).
+	// Scenario paths can override the sender's congestion control and
+	// advertised window; the paper's catalog leaves both at the defaults.
 	sp = phase("transfer")
+	window := cfg.LargeWindowBytes
+	if pc.TargetWindowBytes > 0 {
+		window = pc.TargetWindowBytes
+	}
 	rep := iperf.Run(eng, path, flowTransfer, iperf.Config{
 		Duration:    cfg.TransferSec,
-		TCP:         tcpsim.Config{MaxWindowBytes: cfg.LargeWindowBytes, DelayedAck: true},
+		TCP:         tcpsim.Config{MaxWindowBytes: window, DelayedAck: true, Congestion: pc.CC},
 		Checkpoints: cfg.Checkpoints,
 	})
 	dur := prober.Window()
@@ -580,6 +592,13 @@ func runEpoch(cfg RunConfig, pc PathConfig, eng *sim.Engine, path *netem.Path, p
 	rec.LossEvents = rep.LossEvents
 	rec.SegmentsSent = rep.SegmentsSent
 	rec.Checkpoints = rep.Checkpoints
+	if pc.CC != "" || pc.LinkType != "" {
+		rec.CC = string(rep.CC)
+		rec.Link = string(pc.LinkType)
+		rec.PacingRate = rep.PacingRateBps
+		rec.DeliveryRate = rep.DeliveryRateBps
+		rec.RecoveryEpisodes = rep.RecoveryEpisodes
+	}
 	sp.End()
 
 	// Phase 4: the window-limited companion transfer.

@@ -16,11 +16,12 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-GATE='BenchmarkEngineEvents,BenchmarkTCPTransfer,BenchmarkHWLSOObserve,BenchmarkRegressionObserve,BenchmarkECMObserve,BenchmarkWireObserveDecode,BenchmarkWireObserveEncode,BenchmarkWirePredictEncode'
+GATE='BenchmarkEngineEvents,BenchmarkTCPTransfer,BenchmarkCUBICTransfer,BenchmarkBBRTransfer,BenchmarkHWLSOObserve,BenchmarkRegressionObserve,BenchmarkECMObserve,BenchmarkWireObserveDecode,BenchmarkWireObserveEncode,BenchmarkWirePredictEncode'
 MAX_REGRESS=25
-# The wire codec benches must also stay allocation-free: zero allocs/op is
-# the fastpath's contract, enforced absolutely (not as a percentage).
-ZERO_ALLOC='BenchmarkWireObserveDecode,BenchmarkWireObserveEncode,BenchmarkWirePredictEncode,BenchmarkWirePredictRoundTrip'
+# The wire codec benches and the per-ACK congestion-control hot path must
+# stay allocation-free: zero allocs/op is their contract, enforced
+# absolutely (not as a percentage).
+ZERO_ALLOC='BenchmarkCUBICTransfer,BenchmarkBBRTransfer,BenchmarkWireObserveDecode,BenchmarkWireObserveEncode,BenchmarkWirePredictEncode,BenchmarkWirePredictRoundTrip'
 WIRE_BENCH='BenchmarkWireObserveDecode|BenchmarkJSONObserveDecode|BenchmarkWireObserveEncode|BenchmarkJSONObserveEncode|BenchmarkWirePredictEncode|BenchmarkJSONPredictEncode|BenchmarkWirePredictRoundTrip|BenchmarkWireObserveHandler|BenchmarkOracleObserveHandler'
 
 short=0
@@ -58,7 +59,7 @@ if [ "$short" = 1 ]; then
     # CI mode: the hot-path benches only (the figure benches need a multi-
     # second dataset collection), one pass, reduced benchtime.
     echo "==> go test -bench (short)"
-    go test -bench 'BenchmarkEngineEvents|BenchmarkEngineSchedCancel|BenchmarkPacketPath|BenchmarkQueueForwarding|BenchmarkTCPTransfer|BenchmarkHWLSOObserve|BenchmarkPFTK|BenchmarkRegressionObserve|BenchmarkECMObserve' \
+    go test -bench 'BenchmarkEngineEvents|BenchmarkEngineSchedCancel|BenchmarkPacketPath|BenchmarkQueueForwarding|BenchmarkTCPTransfer|BenchmarkCUBICTransfer|BenchmarkBBRTransfer|BenchmarkHWLSOObserve|BenchmarkPFTK|BenchmarkRegressionObserve|BenchmarkECMObserve' \
         -benchmem -benchtime 0.3s -run '^$' -count 1 . | tee "$tmp/bench.txt"
     echo "==> go test -bench wire codec (short)"
     go test -bench "$WIRE_BENCH" \

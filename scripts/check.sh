@@ -62,6 +62,13 @@ go test -race -short -count=1 \
 echo "==> cluster robustness gates (real binaries)"
 ./scripts/cluster.sh
 
+# Scenario-matrix gate: the CC × link smoke campaign (reno/cubic/bbr over
+# droptail/randomdrop/cellular/rwnd) collected twice with digest equality,
+# then scored by repro's ext-cc — FB must degrade on BBR cells while the
+# history-based control group holds.
+echo "==> scenario-matrix gate (real binaries)"
+./scripts/scenarios.sh
+
 # Coverage ratchet: the short suite's statement coverage may drift, but
 # never more than 2 points below the recorded baseline. When a PR raises
 # coverage meaningfully, raise COVER_BASELINE to match `go tool cover

@@ -215,6 +215,34 @@ func DefaultCampaign(seed int64) RunConfig { return testbed.DefaultScaled(seed) 
 // (35 paths × 7 traces × 150 epochs; slow).
 func PaperCampaign(seed int64) RunConfig { return testbed.PaperScale(seed) }
 
+// Congestion selects the target transfer's congestion control in a
+// scenario campaign: CCReno (the paper's sender, the default), CCCubic
+// (RFC 8312), or CCBBR (a model-based BBR-like sender whose throughput is
+// decoupled from loss rate).
+type Congestion = tcpsim.Congestion
+
+// The supported congestion controls.
+const (
+	CCReno  = tcpsim.CCReno
+	CCCubic = tcpsim.CCCubic
+	CCBBR   = tcpsim.CCBBR
+)
+
+// ScenarioConfig controls the (sender × link) scenario-matrix campaign:
+// which congestion controls, which bottleneck regimes (droptail,
+// randomdrop, cellular, rwnd-limited), and how many path instances per
+// cell.
+type ScenarioConfig = testbed.ScenarioConfig
+
+// ScenarioCampaign returns the scenario-matrix campaign configuration for
+// the given seed: every sender in scfg crossed with every link type, each
+// cell sharing a byte-identical substrate across senders so cross-sender
+// comparisons isolate the congestion control. Score the collected dataset
+// with `repro -only ext-cc` (or experiments.ExtCC).
+func ScenarioCampaign(seed int64, scfg ScenarioConfig) RunConfig {
+	return testbed.ScenarioScaled(seed, scfg)
+}
+
 // CollectDataset runs the campaign described by cfg under ctx. Cancelling
 // the context aborts cleanly at epoch boundaries: the completed traces are
 // still returned as a partial dataset alongside ctx.Err(). A trace that
